@@ -1,0 +1,112 @@
+//! The closed-form propagation-rounds model of §IV-B: with outdegree `d`,
+//! a block reaches `d^r` nodes after `r` gossip rounds, so covering `N`
+//! reachable nodes needs `ceil(log_d N)` rounds — 5 rounds at the default
+//! outdegree of 8 (8⁵ > 10K) but 14 rounds if the effective outdegree
+//! degrades to 2 (2¹⁴ > 10K).
+
+/// Rounds needed for a block to cover `n` nodes at gossip outdegree `d`.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bitsync_analysis::propagation::rounds_to_cover;
+///
+/// assert_eq!(rounds_to_cover(10_000, 8.0), 5);
+/// assert_eq!(rounds_to_cover(10_000, 2.0), 14);
+/// ```
+pub fn rounds_to_cover(n: u64, d: f64) -> u32 {
+    assert!(d >= 2.0, "outdegree must be at least 2");
+    assert!(n > 0, "network must be non-empty");
+    let mut covered = 1f64;
+    let mut rounds = 0u32;
+    while covered < n as f64 {
+        covered *= d;
+        rounds += 1;
+    }
+    rounds
+}
+
+/// Expected effective outdegree given a connection-attempt success rate and
+/// the steady-state fill model: slots refill serially, so the expected
+/// number of filled slots scales with the fraction of maintenance time not
+/// burnt on failed dials.
+///
+/// `success_rate` is the paper's 11.2%; `fail_cost_secs` the connect
+/// timeout; `success_cost_secs` the handshake time; `drop_interval_secs`
+/// the mean time between connection drops per slot.
+pub fn effective_outdegree(
+    max_outbound: f64,
+    success_rate: f64,
+    fail_cost_secs: f64,
+    success_cost_secs: f64,
+    drop_interval_secs: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&success_rate), "rate out of range");
+    if success_rate == 0.0 {
+        return 0.0;
+    }
+    // Expected attempts per successful fill, and thus expected refill time.
+    let attempts = 1.0 / success_rate;
+    let refill = (attempts - 1.0) * fail_cost_secs + success_cost_secs;
+    // Renewal argument: each slot alternates filled (drop_interval) and
+    // empty (refill) periods.
+    let availability = drop_interval_secs / (drop_interval_secs + refill);
+    max_outbound * availability
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_round_numbers() {
+        // §IV-B: 8^5 > 10K and 2^14 > 10K.
+        assert_eq!(rounds_to_cover(10_000, 8.0), 5);
+        assert_eq!(rounds_to_cover(10_000, 2.0), 14);
+    }
+
+    #[test]
+    fn single_node_needs_no_rounds() {
+        assert_eq!(rounds_to_cover(1, 8.0), 0);
+    }
+
+    #[test]
+    fn rounds_monotone_in_size() {
+        assert!(rounds_to_cover(100_000, 8.0) >= rounds_to_cover(10_000, 8.0));
+    }
+
+    #[test]
+    fn rounds_decrease_with_outdegree() {
+        assert!(rounds_to_cover(10_000, 16.0) < rounds_to_cover(10_000, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outdegree")]
+    fn tiny_outdegree_panics() {
+        rounds_to_cover(10, 1.0);
+    }
+
+    #[test]
+    fn effective_outdegree_degrades_with_failures() {
+        // With the paper's 11.2% success rate, a 5 s timeout, and
+        // connections dropping every few minutes, the effective outdegree
+        // lands well below 8 — the paper measured 6.67.
+        let d = effective_outdegree(8.0, 0.112, 5.0, 0.5, 240.0);
+        assert!(d > 5.0 && d < 8.0, "effective outdegree {d}");
+        // Perfect success keeps nearly all slots filled.
+        let perfect = effective_outdegree(8.0, 1.0, 5.0, 0.5, 240.0);
+        assert!(perfect > 7.9);
+        // Worse success rates degrade further.
+        let worse = effective_outdegree(8.0, 0.05, 5.0, 0.5, 240.0);
+        assert!(worse < d);
+    }
+
+    #[test]
+    fn zero_success_rate_is_zero_degree() {
+        assert_eq!(effective_outdegree(8.0, 0.0, 5.0, 0.5, 240.0), 0.0);
+    }
+}

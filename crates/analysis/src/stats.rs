@@ -1,0 +1,196 @@
+//! Summary statistics used across the experiment reports.
+
+/// Basic distribution summary.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`. Returns `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Some(Summary {
+            n,
+            mean,
+            median: percentile_sorted(&sorted, 50.0),
+            min: sorted[0],
+            max: sorted[n - 1],
+            std_dev: var.sqrt(),
+        })
+    }
+}
+
+/// The `p`-th percentile of pre-sorted values (linear interpolation).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The `p`-th percentile of unsorted values.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    percentile_sorted(&sorted, p)
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower bound of the range.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    /// Bin counts.
+    pub bins: Vec<u64>,
+    /// Samples outside the range.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `n_bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `n_bins == 0`.
+    pub fn build(values: &[f64], lo: f64, hi: f64, n_bins: usize) -> Histogram {
+        assert!(hi > lo, "empty histogram range");
+        assert!(n_bins > 0, "histogram needs bins");
+        let mut bins = vec![0u64; n_bins];
+        let mut outliers = 0;
+        let width = (hi - lo) / n_bins as f64;
+        for &v in values {
+            if v < lo || v >= hi {
+                outliers += 1;
+            } else {
+                let b = (((v - lo) / width) as usize).min(n_bins - 1);
+                bins[b] += 1;
+            }
+        }
+        Histogram {
+            lo,
+            hi,
+            bins,
+            outliers,
+        }
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Bin centers, for plotting.
+    pub fn centers(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (0..self.bins.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * width)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 1.5811).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&v, 25.0), 2.5);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let h = Histogram::build(&[0.5, 1.5, 1.6, 9.9, -1.0, 10.0], 0.0, 10.0, 10);
+        assert_eq!(h.bins[0], 1);
+        assert_eq!(h.bins[1], 2);
+        assert_eq!(h.bins[9], 1);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_centers() {
+        let h = Histogram::build(&[], 0.0, 10.0, 5);
+        assert_eq!(h.centers(), vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bins")]
+    fn histogram_zero_bins_panics() {
+        Histogram::build(&[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Criterion bench for the §V ablation: one arm at quick scale.
+
+use bitsync_core::experiments::ablation::{run_arm, AblationConfig, Arm};
+use bitsync_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = AblationConfig::quick(14);
+    cfg.duration = SimDuration::from_hours(2);
+    c.bench_function("ablation_baseline_arm", |b| {
+        b.iter(|| run_arm(&cfg, Arm::Baseline))
+    });
+    c.bench_function("ablation_proposal_arm", |b| {
+        b.iter(|| run_arm(&cfg, Arm::AllProposals))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

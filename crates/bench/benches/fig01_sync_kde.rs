@@ -1,0 +1,20 @@
+//! Criterion bench for the Figure 1 machinery: one synchronization
+//! snapshot scenario arm at quick scale.
+
+use bitsync_core::experiments::sync_kde::{run_year, SyncScenarioConfig, Year};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = SyncScenarioConfig::quick(1);
+    cfg.duration = bitsync_sim::time::SimDuration::from_hours(2);
+    c.bench_function("fig01_sync_scenario_arm", |b| {
+        b.iter(|| run_year(&cfg, Year::Y2020))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure 3 machinery: one daily feed pull over
+//! a census network.
+
+use bitsync_crawler::census::{CensusConfig, CensusNetwork};
+use bitsync_crawler::feeds::{FeedConfig, Feeds};
+use bitsync_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(3);
+    let net = CensusNetwork::generate(CensusConfig::tiny(), &mut rng);
+    let feeds = Feeds::new(FeedConfig::paper(), &net, &mut rng);
+    c.bench_function("fig03_feed_pull", |b| {
+        b.iter(|| feeds.pull(&net, 3.0, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Figure 4 machinery: one Algorithm 1 crawl of
+//! a reachable node's address tables.
+
+use bitsync_crawler::census::{CensusConfig, CensusNetwork};
+use bitsync_crawler::crawl::Crawler;
+use bitsync_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(4);
+    let net = CensusNetwork::generate(CensusConfig::tiny(), &mut rng);
+    let crawler = Crawler::default();
+    let idx = net
+        .reachable
+        .iter()
+        .position(|n| !n.malicious && n.online_at(0.5))
+        .expect("online honest node");
+    c.bench_function("fig04_algorithm1_crawl_node", |b| {
+        b.iter(|| crawler.crawl_node(&net, idx, 0.5, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 5 machinery: Algorithm 2 VER probing
+//! over a discovered unreachable set.
+
+use bitsync_crawler::census::{CensusConfig, CensusNetwork};
+use bitsync_crawler::crawl::{probe_responsive, Crawler};
+use bitsync_protocol::addr::NetAddr;
+use bitsync_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(5);
+    let net = CensusNetwork::generate(CensusConfig::tiny(), &mut rng);
+    let candidates: Vec<NetAddr> = net
+        .online_at(0.5)
+        .into_iter()
+        .map(|i| net.reachable[i].addr)
+        .collect();
+    let found: HashSet<NetAddr> = Crawler::default()
+        .run_experiment(&net, &candidates, 0.5, &mut rng)
+        .unreachable_found;
+    c.bench_function("fig05_algorithm2_probe", |b| {
+        b.iter(|| probe_responsive(&net, &found, 0.5))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

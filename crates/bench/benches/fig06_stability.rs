@@ -1,0 +1,16 @@
+//! Criterion bench for the Figure 6 experiment at quick scale.
+
+use bitsync_core::experiments::stability::{run, StabilityConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = StabilityConfig::quick(7);
+    c.bench_function("fig06_stability_experiment", |b| b.iter(|| run(&cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for the Figure 7 experiment at quick scale.
+
+use bitsync_core::experiments::success_rate::{run, SuccessRateConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = SuccessRateConfig::quick(8);
+    cfg.runs = 1;
+    c.bench_function("fig07_success_rate_run", |b| b.iter(|| run(&cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

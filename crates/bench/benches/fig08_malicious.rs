@@ -1,0 +1,25 @@
+//! Criterion bench for the Figure 8 machinery: flooder batch generation
+//! and the detection heuristic.
+
+use bitsync_core::experiments::census::{run, CensusExperimentConfig};
+use bitsync_node::AddrFlooder;
+use bitsync_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(9);
+    let mut flooder = AddrFlooder::generate(10_000, &mut rng);
+    c.bench_function("fig08_flooder_batch", |b| b.iter(|| flooder.next_batch(0)));
+
+    let result = run(&CensusExperimentConfig::quick(9));
+    c.bench_function("fig08_detection", |b| {
+        b.iter(|| result.campaign.detect_malicious(1000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

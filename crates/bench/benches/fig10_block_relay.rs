@@ -1,0 +1,19 @@
+//! Criterion bench for the Figure 10 experiment: the relay star under
+//! block + transaction load, quick scale.
+
+use bitsync_core::experiments::relay::{run, RelayConfig};
+use bitsync_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = RelayConfig::quick(10);
+    cfg.duration = SimDuration::from_mins(15);
+    c.bench_function("fig10_relay_star", |b| b.iter(|| run(&cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

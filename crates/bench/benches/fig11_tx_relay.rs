@@ -1,0 +1,43 @@
+//! Criterion bench for the Figure 11 machinery: one round-robin pump
+//! cycle relaying a transaction to 25 peers.
+
+use bitsync_chain::TxGenerator;
+use bitsync_node::{Direction, Node, NodeConfig, NodeId};
+use bitsync_protocol::addr::NetAddr;
+use bitsync_sim::rng::SimRng;
+use bitsync_sim::time::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::net::Ipv4Addr;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(11);
+    let mut gen = TxGenerator::new(1);
+    let addr = NetAddr::from_ipv4(Ipv4Addr::new(192, 0, 2, 1), 8333);
+    let mut node = Node::new(NodeId(0), addr, true, NodeConfig::bitcoin_core(), 1);
+    for i in 1..=25u32 {
+        let peer_addr = NetAddr::from_ipv4(Ipv4Addr::new(192, 0, 2, 1 + i as u8), 8333);
+        let dir = if i <= 8 {
+            Direction::Outbound
+        } else {
+            Direction::Inbound
+        };
+        node.on_connected(NodeId(i), peer_addr, dir, SimTime::ZERO);
+        // Complete handshakes directly.
+        node.deliver(NodeId(i), bitsync_protocol::Message::Verack);
+    }
+    node.pump(SimTime::ZERO);
+    c.bench_function("fig11_tx_accept_and_pump", |b| {
+        b.iter(|| {
+            let tx = gen.next_tx(&mut rng);
+            node.accept_tx(tx, SimTime::from_secs(1));
+            node.pump(SimTime::from_secs(1))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Figure 12 machinery: building the churn
+//! binary matrix and its lifetime statistics.
+
+use bitsync_crawler::census::{CensusConfig, CensusNetwork};
+use bitsync_crawler::churn_matrix::ChurnMatrix;
+use bitsync_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(12);
+    let net = CensusNetwork::generate(
+        CensusConfig {
+            reachable_online: 500,
+            days: 30,
+            ..CensusConfig::tiny()
+        },
+        &mut rng,
+    );
+    c.bench_function("fig12_matrix_build", |b| {
+        b.iter(|| ChurnMatrix::build(&net, 1.0))
+    });
+    let m = ChurnMatrix::build(&net, 1.0);
+    c.bench_function("fig12_lifetime_stats", |b| {
+        b.iter(|| (m.mean_lifetime_days(), m.always_present()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Figure 13 machinery: snapshot-diff churn
+//! accounting.
+
+use bitsync_analysis::ChurnSeries;
+use bitsync_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(13);
+    // 60 daily snapshots of ~8K member ids with ~8% turnover.
+    let mut members: Vec<u64> = (0..8_000).collect();
+    let mut next_id = 8_000u64;
+    let mut snapshots = Vec::new();
+    for _ in 0..60 {
+        snapshots.push(members.clone());
+        for m in members.iter_mut() {
+            if rng.chance(0.08) {
+                *m = next_id;
+                next_id += 1;
+            }
+        }
+    }
+    c.bench_function("fig13_snapshot_diff_60_days", |b| {
+        b.iter(|| ChurnSeries::from_snapshots(&snapshots))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

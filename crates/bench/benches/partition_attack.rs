@@ -1,0 +1,20 @@
+//! Criterion bench for the §IV-A1 partition-attack experiment at quick
+//! scale.
+
+use bitsync_core::experiments::partition::{run, PartitionConfig};
+use bitsync_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = PartitionConfig::quick(15);
+    cfg.attack = SimDuration::from_mins(20);
+    cfg.heal = SimDuration::from_mins(10);
+    c.bench_function("partition_attack_quick", |b| b.iter(|| run(&cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

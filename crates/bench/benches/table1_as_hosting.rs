@@ -1,0 +1,28 @@
+//! Criterion bench for the Table I machinery: AS concentration analysis
+//! over a sampled population.
+
+use bitsync_analysis::AsConcentration;
+use bitsync_net::{AsModel, NodeClass};
+use bitsync_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let model = AsModel::from_paper();
+    let mut rng = SimRng::seed_from(6);
+    let asns: Vec<u32> = (0..10_000)
+        .map(|_| model.sample(NodeClass::Reachable, &mut rng))
+        .collect();
+    c.bench_function("table1_as_concentration_10k", |b| {
+        b.iter(|| {
+            let conc = AsConcentration::from_asns(asns.iter().copied());
+            (conc.ases_to_cover(0.5), conc.top(20).len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

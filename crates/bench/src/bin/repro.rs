@@ -1,0 +1,198 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--seed N] [--scale quick|scaled|paper] [--json DIR] <target>...
+//!
+//! targets:
+//!   all        everything below
+//!   fig1       synchronization KDE 2019 vs 2020 (+ §IV-D sync churn)
+//!   census     figures 3, 4, 5, 8, 12, 13, Table I, ADDR mix
+//!   fig6       connection stability
+//!   fig7       connection success rate
+//!   relay      figures 10 and 11
+//!   resync     §IV-D restart experiment
+//!   rounds     §IV-B propagation rounds
+//!   ablation   §V proposed refinements
+//!   partition  §IV-A1 routing-attack evaluation
+//! ```
+
+use bitsync_bench::*;
+use bitsync_core::experiments::{
+    ablation, census, partition, relay, resync, rounds, stability, success_rate, sync_kde,
+};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scale {
+    Quick,
+    Scaled,
+    Paper,
+}
+
+fn write_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    let path = std::path::Path::new(dir).join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 2021u64;
+    let mut scale = Scale::Scaled;
+    let mut json_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                let dir = args.get(i).unwrap_or_else(|| usage("--json needs a directory")).clone();
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("error: cannot create {dir}: {e}");
+                    std::process::exit(2);
+                }
+                json_dir = Some(dir);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("scaled") => Scale::Scaled,
+                    Some("paper") => Scale::Paper,
+                    _ => usage("--scale must be quick|scaled|paper"),
+                };
+            }
+            t => targets.push(t.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        usage("no target given");
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || targets.iter().any(|t| t == name);
+
+    println!("bitsync repro — seed {seed}, scale {scale:?}\n");
+
+    if want("rounds") {
+        let r = rounds::run(seed, if scale == Scale::Quick { 20 } else { 60 });
+        write_json(&json_dir, "rounds", &r);
+        print!("{}", render_rounds(&r));
+        println!();
+    }
+    if want("fig6") {
+        let cfg = match scale {
+            Scale::Quick => stability::StabilityConfig::quick(seed),
+            _ => stability::StabilityConfig::paper(seed),
+        };
+        let r = stability::run(&cfg);
+        write_json(&json_dir, "fig6_stability", &r);
+        print!("{}", render_fig6(&r));
+        println!();
+    }
+    if want("fig7") {
+        let cfg = match scale {
+            Scale::Quick => success_rate::SuccessRateConfig::quick(seed),
+            _ => success_rate::SuccessRateConfig::paper(seed),
+        };
+        let r = success_rate::run(&cfg);
+        write_json(&json_dir, "fig7_success_rate", &r);
+        print!("{}", render_fig7(&r));
+        println!();
+    }
+    if want("relay") {
+        let cfg = match scale {
+            Scale::Quick => relay::RelayConfig::quick(seed),
+            _ => relay::RelayConfig::paper(seed),
+        };
+        let r = relay::run(&cfg);
+        write_json(&json_dir, "fig10_11_relay", &r);
+        print!("{}", render_fig10_11(&r));
+        println!();
+    }
+    if want("census") {
+        let cfg = match scale {
+            Scale::Quick => census::CensusExperimentConfig::quick(seed),
+            Scale::Scaled => census::CensusExperimentConfig::one_tenth(seed),
+            Scale::Paper => census::CensusExperimentConfig::paper(seed),
+        };
+        let c = census::run(&cfg);
+        write_json(&json_dir, "table1_as", &c.as_report);
+        print!("{}", render_fig3(&c));
+        println!();
+        print!("{}", render_fig4(&c));
+        println!();
+        print!("{}", render_fig5(&c));
+        println!();
+        print!("{}", render_table1(&c));
+        println!();
+        print!("{}", render_fig8(&c));
+        println!();
+        print!("{}", render_fig12_13(&c));
+        println!();
+        print!("{}", render_addr_mix(&c));
+        println!();
+    }
+    if want("fig1") {
+        let cfg = match scale {
+            Scale::Quick => sync_kde::SyncScenarioConfig::quick(seed),
+            _ => sync_kde::SyncScenarioConfig::scaled(seed),
+        };
+        let r = sync_kde::run(&cfg);
+        write_json(&json_dir, "fig1_sync", &r);
+        print!("{}", render_fig1(&r));
+        println!();
+    }
+    if want("resync") {
+        let cfg = match scale {
+            Scale::Quick => resync::ResyncConfig::quick(seed),
+            _ => resync::ResyncConfig::paper(seed),
+        };
+        let r = resync::run(&cfg);
+        write_json(&json_dir, "resync", &r);
+        print!("{}", render_resync(&r));
+        println!();
+    }
+    if want("partition") {
+        let cfg = match scale {
+            Scale::Quick => partition::PartitionConfig::quick(seed),
+            _ => partition::PartitionConfig::scaled(seed),
+        };
+        let r = partition::run(&cfg);
+        write_json(&json_dir, "partition", &r);
+        print!("{}", render_partition(&r));
+        println!();
+    }
+    if want("ablation") {
+        let cfg = match scale {
+            Scale::Quick => ablation::AblationConfig::quick(seed),
+            _ => ablation::AblationConfig::scaled(seed),
+        };
+        let r = ablation::run(&cfg);
+        write_json(&json_dir, "ablation", &r);
+        print!("{}", render_ablation(&r));
+        println!();
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: repro [--seed N] [--scale quick|scaled|paper] \
+         [--json DIR] <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>..."
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,26 @@
+//! One module per paper artifact. Each experiment has a `*Config` with
+//! `paper`/`scaled` and `quick` constructors, a `run` function, and a
+//! serializable result; the `bitsync-bench` crate renders them as the
+//! paper's tables and figures.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`sync_kde`] | Figure 1 + §IV-D synchronized-departure comparison |
+//! | [`census`] | Figures 3, 4, 5, 8, 12, 13, Table I, ADDR mix |
+//! | [`stability`] | Figure 6 |
+//! | [`success_rate`] | Figure 7 |
+//! | [`relay`] | Figures 10 and 11 |
+//! | [`resync`] | §IV-D restart (11 min 14 s) |
+//! | [`rounds`] | §IV-B propagation rounds (8⁵, 2¹⁴) |
+//! | [`ablation`] | §V proposed refinements |
+//! | [`partition`] | §IV-A1 routing-attack evaluation on the live topology |
+
+pub mod ablation;
+pub mod census;
+pub mod partition;
+pub mod relay;
+pub mod resync;
+pub mod rounds;
+pub mod stability;
+pub mod success_rate;
+pub mod sync_kde;

@@ -1,0 +1,169 @@
+//! Figure 7: the success rate of outgoing-connection attempts.
+//!
+//! The paper started a fresh node five times, ran it five minutes each, and
+//! counted attempts vs. successful connections: 11.2% success on average,
+//! 5.8% (8/137) in the worst run, and one run with 15 successes because
+//! established connections dropped and were replaced.
+
+use bitsync_node::world::{World, WorldConfig};
+use bitsync_node::NodeId;
+use bitsync_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct SuccessRateConfig {
+    /// Base seed; run `i` uses `seed + i`.
+    pub seed: u64,
+    /// Number of independent runs (paper: 5).
+    pub runs: usize,
+    /// Duration of each run (paper: 5 minutes).
+    pub run_duration: SimDuration,
+    /// World size.
+    pub n_reachable: usize,
+    /// Phantom pool size.
+    pub n_phantoms: usize,
+    /// Phantoms seeded into the observed node's book (paper-calibrated
+    /// pollution: ~89% of the book unreachable).
+    pub seed_phantoms: usize,
+    /// Reachable addresses seeded.
+    pub seed_reachable: usize,
+    /// Per-connection lifetime (drops force replacement attempts).
+    pub connection_mean_lifetime: Option<SimDuration>,
+}
+
+impl SuccessRateConfig {
+    /// Paper-shaped defaults.
+    pub fn paper(seed: u64) -> Self {
+        SuccessRateConfig {
+            seed,
+            runs: 5,
+            run_duration: SimDuration::from_mins(5),
+            n_reachable: 60,
+            n_phantoms: 4_000,
+            seed_phantoms: 350,
+            seed_reachable: 32,
+            connection_mean_lifetime: Some(SimDuration::from_secs(120)),
+        }
+    }
+
+    /// Faster test variant.
+    pub fn quick(seed: u64) -> Self {
+        SuccessRateConfig {
+            runs: 3,
+            n_reachable: 30,
+            n_phantoms: 1_000,
+            seed_phantoms: 150,
+            ..Self::paper(seed)
+        }
+    }
+}
+
+/// One run's counts.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RunCounts {
+    /// Outgoing attempts started.
+    pub attempts: u64,
+    /// Attempts that completed a handshake.
+    pub successes: u64,
+}
+
+impl RunCounts {
+    /// Success rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Figure 7 output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SuccessRateResult {
+    /// Per-run counts.
+    pub runs: Vec<RunCounts>,
+}
+
+impl SuccessRateResult {
+    /// Mean success rate across runs (paper: 11.2%).
+    pub fn mean_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(RunCounts::rate).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// The worst run's rate (paper: 5.8%).
+    pub fn worst_rate(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(RunCounts::rate)
+            .fold(f64::MAX, f64::min)
+    }
+}
+
+/// Runs the Figure 7 experiment: each run restarts the observed node in a
+/// fresh world, mirroring the paper's restart-per-experiment protocol.
+pub fn run(cfg: &SuccessRateConfig) -> SuccessRateResult {
+    let mut runs = Vec::with_capacity(cfg.runs);
+    for i in 0..cfg.runs {
+        let mut world = World::new(WorldConfig {
+            seed: cfg.seed.wrapping_add(i as u64),
+            n_reachable: cfg.n_reachable,
+            n_unreachable_full: 0,
+            n_phantoms: cfg.n_phantoms,
+            seed_phantoms: cfg.seed_phantoms,
+            seed_reachable: cfg.seed_reachable,
+            connection_mean_lifetime: cfg.connection_mean_lifetime,
+            ..WorldConfig::default()
+        });
+        world.run_until(SimTime::ZERO + cfg.run_duration);
+        let stats = world
+            .node(NodeId(0))
+            .map(|n| n.stats)
+            .unwrap_or_default();
+        runs.push(RunCounts {
+            attempts: stats.attempts,
+            successes: stats.successes,
+        });
+    }
+    SuccessRateResult { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_is_low_as_in_the_paper() {
+        let result = run(&SuccessRateConfig::quick(1));
+        assert_eq!(result.runs.len(), 3);
+        for r in &result.runs {
+            assert!(r.attempts > 0, "no attempts recorded");
+            assert!(r.successes <= r.attempts);
+        }
+        let mean = result.mean_rate();
+        // The paper's headline: most attempts fail. At quick scale the rate
+        // should sit far below 50% and above zero.
+        assert!(mean > 0.01 && mean < 0.45, "mean success rate {mean}");
+    }
+
+    #[test]
+    fn worst_is_at_most_mean() {
+        let result = run(&SuccessRateConfig::quick(2));
+        assert!(result.worst_rate() <= result.mean_rate() + 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&SuccessRateConfig::quick(3));
+        let b = run(&SuccessRateConfig::quick(3));
+        assert_eq!(a.runs.len(), b.runs.len());
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.attempts, y.attempts);
+            assert_eq!(x.successes, y.successes);
+        }
+    }
+}

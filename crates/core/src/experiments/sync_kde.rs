@@ -1,0 +1,259 @@
+//! Figure 1 and §IV-D: the synchronization distribution under 2019-like vs
+//! 2020-like churn, and the synchronized-departure rate that separates the
+//! two years.
+//!
+//! The paper: with an unchanged protocol and a constant ~10K reachable
+//! network, mean synchronization fell from 72.02% (Sep–Dec 2019) to 61.91%
+//! (Jan–Apr 2020); the only measured change was the churn among
+//! *synchronized* nodes, which doubled from 3.9 to 7.6 departures per
+//! 10 minutes.
+//!
+//! The scenario runs a scaled network where the *only* difference between
+//! the two arms is the churn model ([`ChurnConfig::paper_2019`] vs
+//! [`ChurnConfig::paper_2020`]); everything else — addressing, relaying,
+//! IBD costs, laggard level — is held fixed, mirroring the paper's
+//! "protocols did not change between the years" argument.
+
+use bitsync_analysis::churn::{mean_synchronized_departures, Departure};
+use bitsync_analysis::{Kde, Summary};
+use bitsync_net::churn::ChurnConfig;
+use bitsync_node::world::{ChurnEvent, World, WorldConfig};
+use bitsync_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which measurement-period regime to reproduce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Year {
+    /// September–December 2019 (lower churn).
+    Y2019,
+    /// January–April 2020 (doubled synchronized-node churn).
+    Y2020,
+}
+
+impl Year {
+    /// The churn model of this regime.
+    pub fn churn(self) -> ChurnConfig {
+        match self {
+            Year::Y2019 => ChurnConfig::paper_2019(),
+            Year::Y2020 => ChurnConfig::paper_2020(),
+        }
+    }
+}
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct SyncScenarioConfig {
+    /// Random seed.
+    pub seed: u64,
+    /// Reachable network size (scaled; the paper's network is ~10K).
+    pub n_reachable: usize,
+    /// Unreachable full nodes.
+    pub n_unreachable_full: usize,
+    /// Scenario duration.
+    pub duration: SimDuration,
+    /// Snapshot interval (paper/Bitnodes: 10 minutes).
+    pub snapshot_interval: SimDuration,
+    /// Block interval.
+    pub block_interval: SimDuration,
+    /// Mean fresh-arrival IBD time (days-long in reality).
+    pub ibd_fresh_mean: SimDuration,
+    /// Persistent-laggard fraction (stale-tip nodes; see
+    /// `WorldConfig::laggard_fraction`).
+    pub laggard_fraction: f64,
+    /// Churn acceleration: divide lifetimes by this to fit a short
+    /// simulation window while keeping the 2:1 ratio between years intact.
+    pub churn_speedup: f64,
+    /// Warm-up before snapshots start.
+    pub warmup: SimDuration,
+}
+
+impl SyncScenarioConfig {
+    /// Default scaled scenario (see EXPERIMENTS.md for the scale mapping).
+    pub fn scaled(seed: u64) -> Self {
+        SyncScenarioConfig {
+            seed,
+            n_reachable: 150,
+            n_unreachable_full: 30,
+            duration: SimDuration::from_hours(96),
+            snapshot_interval: SimDuration::from_mins(10),
+            block_interval: SimDuration::from_secs(600),
+            ibd_fresh_mean: SimDuration::from_hours(240),
+            laggard_fraction: 0.20,
+            churn_speedup: 24.0,
+            warmup: SimDuration::from_hours(12),
+        }
+    }
+
+    /// Fast test variant. Keeps the scaled IBD debt so the 2019/2020
+    /// contrast stays visible above small-network noise.
+    pub fn quick(seed: u64) -> Self {
+        SyncScenarioConfig {
+            n_reachable: 36,
+            n_unreachable_full: 8,
+            duration: SimDuration::from_hours(5),
+            block_interval: SimDuration::from_secs(300),
+            churn_speedup: 48.0,
+            warmup: SimDuration::from_mins(30),
+            ..Self::scaled(seed)
+        }
+    }
+
+    fn world_config(&self, year: Year) -> WorldConfig {
+        let mut churn = year.churn();
+        // Accelerate both lifetimes and IBD by the same factor so the
+        // steady-state unsynchronized fraction is preserved.
+        churn.mean_lifetime = SimDuration::from_secs_f64(
+            churn.mean_lifetime.as_secs_f64() / self.churn_speedup,
+        );
+        churn.mean_offline_gap = SimDuration::from_secs_f64(
+            churn.mean_offline_gap.as_secs_f64() / self.churn_speedup,
+        );
+        let ibd = SimDuration::from_secs_f64(
+            self.ibd_fresh_mean.as_secs_f64() / self.churn_speedup,
+        );
+        WorldConfig {
+            seed: self.seed,
+            n_reachable: self.n_reachable,
+            n_unreachable_full: self.n_unreachable_full,
+            n_phantoms: 2_000,
+            seed_phantoms: 150,
+            seed_reachable: 32,
+            churn: Some(churn),
+            block_interval: Some(self.block_interval),
+            tx_rate: 0.0,
+            ibd_fresh_mean: Some(ibd),
+            permanent_fraction: 0.25,
+            laggard_fraction: self.laggard_fraction,
+            ..WorldConfig::default()
+        }
+    }
+}
+
+/// One arm's (one year's) results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct YearResult {
+    /// Which regime.
+    pub year: Year,
+    /// Synchronization fraction per 10-minute snapshot.
+    pub sync_samples: Vec<f64>,
+    /// Summary of the samples.
+    pub summary: Summary,
+    /// Mean synchronized departures per 10-minute window.
+    pub sync_departures_per_10min: f64,
+    /// Total departures observed.
+    pub total_departures: usize,
+}
+
+impl YearResult {
+    /// KDE over the synchronization samples (the Figure 1 curve).
+    pub fn kde(&self) -> Option<Kde> {
+        Kde::fit(&self.sync_samples)
+    }
+}
+
+/// The full Figure 1 comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyncComparison {
+    /// The 2019-like arm.
+    pub y2019: YearResult,
+    /// The 2020-like arm.
+    pub y2020: YearResult,
+}
+
+impl SyncComparison {
+    /// Drop in mean synchronization from 2019 to 2020 (paper: ~10 points).
+    pub fn mean_drop(&self) -> f64 {
+        self.y2019.summary.mean - self.y2020.summary.mean
+    }
+
+    /// Ratio of synchronized departures 2020:2019 (paper: 7.6/3.9 ≈ 1.95).
+    pub fn departure_ratio(&self) -> f64 {
+        if self.y2019.sync_departures_per_10min == 0.0 {
+            return f64::NAN;
+        }
+        self.y2020.sync_departures_per_10min / self.y2019.sync_departures_per_10min
+    }
+}
+
+/// Runs one arm.
+pub fn run_year(cfg: &SyncScenarioConfig, year: Year) -> YearResult {
+    let mut world = World::new(cfg.world_config(year));
+    let mut samples = Vec::new();
+    let warmup = cfg.warmup;
+    world.run_until(SimTime::ZERO + warmup);
+    let mut t = SimTime::ZERO + warmup;
+    let end = SimTime::ZERO + warmup + cfg.duration;
+    while t < end {
+        t += cfg.snapshot_interval;
+        world.run_until(t);
+        samples.push(world.sync_fraction());
+    }
+    let departures: Vec<Departure> = world
+        .churn_events
+        .iter()
+        .filter_map(|(at, e)| match e {
+            ChurnEvent::Departed { synchronized, .. } => Some(Departure {
+                at_secs: at.as_secs(),
+                synchronized: *synchronized,
+            }),
+            _ => None,
+        })
+        .collect();
+    let horizon = (warmup + cfg.duration).as_secs();
+    let sync_departures_per_10min =
+        mean_synchronized_departures(&departures, horizon, 600);
+    YearResult {
+        year,
+        summary: Summary::of(&samples).expect("non-empty samples"),
+        sync_samples: samples,
+        sync_departures_per_10min,
+        total_departures: departures.len(),
+    }
+}
+
+/// Runs both arms with identical seeds and everything but churn fixed.
+pub fn run(cfg: &SyncScenarioConfig) -> SyncComparison {
+    SyncComparison {
+        y2019: run_year(cfg, Year::Y2019),
+        y2020: run_year(cfg, Year::Y2020),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_churn_means_lower_sync_and_more_departures() {
+        let cmp = run(&SyncScenarioConfig::quick(3));
+        assert!(!cmp.y2019.sync_samples.is_empty());
+        // Direction of both paper results.
+        assert!(
+            cmp.y2020.summary.mean <= cmp.y2019.summary.mean + 0.02,
+            "2020 {} vs 2019 {}",
+            cmp.y2020.summary.mean,
+            cmp.y2019.summary.mean
+        );
+        assert!(
+            cmp.y2020.total_departures >= cmp.y2019.total_departures,
+            "departures 2020 {} vs 2019 {}",
+            cmp.y2020.total_departures,
+            cmp.y2019.total_departures
+        );
+    }
+
+    #[test]
+    fn sync_fraction_is_a_probability() {
+        let cmp = run(&SyncScenarioConfig::quick(4));
+        for s in cmp.y2019.sync_samples.iter().chain(&cmp.y2020.sync_samples) {
+            assert!((0.0..=1.0).contains(s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn kde_fits() {
+        let cmp = run(&SyncScenarioConfig::quick(5));
+        assert!(cmp.y2019.kde().is_some());
+        assert!(cmp.y2020.kde().is_some());
+    }
+}

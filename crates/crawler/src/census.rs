@@ -1,0 +1,649 @@
+//! The 60-day census network: a paper-scale ground-truth model of node
+//! membership over time.
+//!
+//! Protocol-fidelity experiments (Figures 6, 7, 10, 11) run on the full
+//! event-driven world in `bitsync-node`. The longitudinal census
+//! experiments (Figures 3, 4, 5, 12, 13 and Table I) span 60 days and
+//! hundreds of thousands of addresses — per-message simulation is
+//! unnecessary there because the measured quantities are functions of
+//! *membership* (who is online, what addresses circulate) rather than of
+//! message timing. [`CensusNetwork`] materializes exactly that membership
+//! process:
+//!
+//! - reachable nodes with online/offline session intervals from the churn
+//!   model (departures balanced by fresh arrivals, plus rejoins);
+//! - a live pool of unreachable addresses with daily turnover (so the
+//!   cumulative count keeps growing, Figure 4);
+//! - per-node address books (samples of the live pools) that honest nodes
+//!   answer `GETADDR` from;
+//! - ADDR-flooding malicious nodes with fabricated pools (Figure 8).
+
+use bitsync_net::as_model::AsModel;
+use bitsync_net::population::NodeClass;
+use bitsync_protocol::addr::{NetAddr, DEFAULT_PORT};
+use bitsync_sim::rng::SimRng;
+use bitsync_sim::time::SimDuration;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Seconds in a simulated day.
+pub const DAY_SECS: f64 = 86_400.0;
+
+/// Census model parameters.
+#[derive(Clone, Debug)]
+pub struct CensusConfig {
+    /// Simulated measurement window in days (paper: 60).
+    pub days: u32,
+    /// Reachable nodes online at any time (paper: ~10,114 in feeds, 8,270
+    /// connectable).
+    pub reachable_online: usize,
+    /// Fraction of reachable nodes that never leave (paper: 3,034 of
+    /// 28,781 unique ≈ stable core of the ~10K snapshot).
+    pub permanent_fraction: f64,
+    /// Mean online-session length for non-permanent nodes, days.
+    /// Calibrated so ~8.6% of the snapshot departs daily (paper Fig. 13).
+    pub session_mean_days: f64,
+    /// Probability a departed node rejoins later with the same address.
+    pub rejoin_probability: f64,
+    /// Mean offline gap before a rejoin, days.
+    pub offline_gap_days: f64,
+    /// Live unreachable addresses at any time (paper: ~195K per
+    /// experiment).
+    pub unreachable_live: usize,
+    /// New unreachable addresses appearing per day (paper: cumulative
+    /// 694,696 over 60 days from ~195K live ⇒ ~8.5K/day turnover).
+    pub unreachable_daily_new: usize,
+    /// Fraction of unreachable addresses generated responsive. Set above
+    /// the paper's 23.5% *measured* cumulative fraction because flooder
+    /// addresses and already-expired entries dilute the measured value;
+    /// 0.28 generation lands the campaign at ≈23% measured.
+    pub responsive_fraction: f64,
+    /// Mean honest per-node address-book size (entries).
+    pub book_mean: usize,
+    /// Fraction of an honest node's ADDR gossip that references
+    /// reachable-class addresses (paper: 14.9% of ADDR entries).
+    pub book_reachable_fraction: f64,
+    /// Replacement arrivals churn faster than the initial population:
+    /// session-length multiplier for them.
+    pub arrival_session_factor: f64,
+    /// Rejoin-probability multiplier for replacement arrivals.
+    pub arrival_rejoin_factor: f64,
+    /// Number of ADDR-flooding malicious reachable nodes (paper: 73).
+    pub n_malicious: usize,
+    /// Fraction of flooders hosted in AS3320 (paper: 59%).
+    pub malicious_as3320_fraction: f64,
+}
+
+impl CensusConfig {
+    /// Full paper-scale configuration.
+    pub fn paper_scale() -> Self {
+        CensusConfig {
+            days: 60,
+            reachable_online: 10_114,
+            permanent_fraction: 0.30,
+            session_mean_days: 7.0,
+            rejoin_probability: 0.5,
+            offline_gap_days: 1.5,
+            unreachable_live: 195_000,
+            unreachable_daily_new: 8_470,
+            responsive_fraction: 0.28,
+            book_mean: 8_000,
+            book_reachable_fraction: 0.13,
+            arrival_session_factor: 1.0,
+            arrival_rejoin_factor: 1.0,
+            n_malicious: 73,
+            malicious_as3320_fraction: 0.59,
+        }
+    }
+
+    /// A 1:10 scale for fast experiments; fractions unchanged.
+    pub fn one_tenth_scale() -> Self {
+        CensusConfig {
+            reachable_online: 1_011,
+            unreachable_live: 19_500,
+            unreachable_daily_new: 847,
+            book_mean: 800,
+            n_malicious: 7,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        CensusConfig {
+            days: 10,
+            reachable_online: 60,
+            unreachable_live: 600,
+            unreachable_daily_new: 40,
+            book_mean: 100,
+            n_malicious: 2,
+            ..Self::paper_scale()
+        }
+    }
+}
+
+/// An online interval, in fractional days since window start.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Session {
+    /// Session start, days.
+    pub start: f64,
+    /// Session end, days.
+    pub end: f64,
+}
+
+/// A reachable node in the census.
+#[derive(Clone, Debug)]
+pub struct CensusNode {
+    /// Its endpoint.
+    pub addr: NetAddr,
+    /// Hosting AS.
+    pub asn: u32,
+    /// Online sessions within the window, ascending.
+    pub sessions: Vec<Session>,
+    /// Whether this is an ADDR flooder.
+    pub malicious: bool,
+    /// Index range of this node's address book in the unreachable pool
+    /// (honest nodes), or the node's private fabricated pool (flooders).
+    pub book: Vec<u32>,
+    /// Indices of reachable census nodes this node also gossips (honest
+    /// nodes only; the ~15% reachable share of real ADDR messages).
+    pub book_reachable: Vec<u32>,
+    /// Whether it never leaves during the window.
+    pub permanent: bool,
+}
+
+impl CensusNode {
+    /// Whether the node is online at `day` (fractional days).
+    pub fn online_at(&self, day: f64) -> bool {
+        self.sessions.iter().any(|s| s.start <= day && day < s.end)
+    }
+
+    /// First appearance, days.
+    pub fn first_seen(&self) -> f64 {
+        self.sessions.first().map_or(f64::MAX, |s| s.start)
+    }
+
+    /// Last disappearance, days.
+    pub fn last_seen(&self) -> f64 {
+        self.sessions.last().map_or(0.0, |s| s.end)
+    }
+
+    /// The paper's "network lifetime": span from first join to last leave.
+    pub fn network_lifetime_days(&self) -> f64 {
+        (self.last_seen() - self.first_seen()).max(0.0)
+    }
+}
+
+/// One unreachable address in the pool.
+#[derive(Clone, Copy, Debug)]
+pub struct UnreachableAddr {
+    /// The endpoint.
+    pub addr: NetAddr,
+    /// Hosting AS.
+    pub asn: u32,
+    /// Day the address first circulates.
+    pub appears: f64,
+    /// Day it stops circulating (leaves books thereafter).
+    pub disappears: f64,
+    /// Whether a VER probe gets a FIN response while it circulates.
+    pub responsive: bool,
+}
+
+/// The materialized census network.
+#[derive(Clone, Debug)]
+pub struct CensusNetwork {
+    /// Configuration used.
+    pub cfg: CensusConfig,
+    /// All reachable nodes that ever appear during the window.
+    pub reachable: Vec<CensusNode>,
+    /// All unreachable addresses that ever circulate.
+    pub unreachable: Vec<UnreachableAddr>,
+    /// Fabricated flooder addresses (disjoint from `unreachable`), indexed
+    /// per flooder via `CensusNode::book` values offset by `flood_base`.
+    pub flood_pool: Vec<NetAddr>,
+    /// Book indices >= this refer to `flood_pool`.
+    pub flood_base: u32,
+    /// Set of all reachable endpoints ever (ground truth for classifying
+    /// ADDR entries).
+    pub reachable_addrs: HashSet<NetAddr>,
+}
+
+fn fresh_ip(used: &mut HashSet<u32>, rng: &mut SimRng) -> Ipv4Addr {
+    loop {
+        let candidate = rng.below(0xdfff_ffff) as u32 + 0x0100_0000;
+        let first = (candidate >> 24) as u8;
+        if first == 10 || first == 127 || first >= 224 {
+            continue;
+        }
+        if used.insert(candidate) {
+            return Ipv4Addr::from(candidate);
+        }
+    }
+}
+
+fn fresh_addr(used: &mut HashSet<u32>, default_port_frac: f64, rng: &mut SimRng) -> NetAddr {
+    let ip = fresh_ip(used, rng);
+    let port = if rng.chance(default_port_frac) {
+        DEFAULT_PORT
+    } else {
+        1024 + rng.below(60_000) as u16
+    };
+    NetAddr::from_ipv4(ip, port)
+}
+
+impl CensusNetwork {
+    /// Materializes a census network for the whole window.
+    pub fn generate(cfg: CensusConfig, rng: &mut SimRng) -> Self {
+        let as_model = AsModel::from_paper();
+        let mut used = HashSet::new();
+        let horizon = cfg.days as f64;
+
+        // --- Unreachable pool: initial live set plus daily turnover. ---
+        let mut unreachable = Vec::new();
+        let push_unreachable = |appears: f64, used: &mut HashSet<u32>, rng: &mut SimRng, out: &mut Vec<UnreachableAddr>| {
+            let responsive = rng.chance(cfg.responsive_fraction);
+            let class = if responsive {
+                NodeClass::UnreachableResponsive
+            } else {
+                NodeClass::UnreachableSilent
+            };
+            let addr = fresh_addr(used, 0.8854, rng);
+            let asn = as_model.sample(class, rng);
+            // Live duration so that steady-state live count holds:
+            // live ≈ daily_new × mean_live_days ⇒ mean ≈ live/daily_new.
+            let mean_live = (cfg.unreachable_live as f64 / cfg.unreachable_daily_new as f64)
+                .max(1.0);
+            let dur = -rng.unit().max(1e-12).ln() * mean_live;
+            out.push(UnreachableAddr {
+                addr,
+                asn,
+                appears,
+                disappears: appears + dur,
+                responsive,
+            });
+        };
+        for _ in 0..cfg.unreachable_live {
+            // Initial pool: appeared before the window; residual lifetime.
+            push_unreachable(0.0, &mut used, rng, &mut unreachable);
+        }
+        let mut day = 0.0;
+        while day < horizon {
+            for _ in 0..cfg.unreachable_daily_new {
+                let t = day + rng.unit();
+                push_unreachable(t, &mut used, rng, &mut unreachable);
+            }
+            day += 1.0;
+        }
+
+        // --- Reachable nodes: initial snapshot plus churn arrivals. ---
+        let mut reachable: Vec<CensusNode> = Vec::new();
+        let mut reachable_addrs = HashSet::new();
+        let mut departures_to_replace: Vec<f64> = Vec::new();
+        let make_sessions = |start: f64,
+                             permanent: bool,
+                             session_mean: f64,
+                             rejoin_p: f64,
+                             rng: &mut SimRng|
+         -> Vec<Session> {
+            if permanent {
+                return vec![Session {
+                    start: 0.0,
+                    end: horizon,
+                }];
+            }
+            let mut sessions = Vec::new();
+            let mut t = start;
+            loop {
+                let dur = -rng.unit().max(1e-12).ln() * session_mean;
+                let end = (t + dur).min(horizon);
+                sessions.push(Session { start: t, end });
+                if end >= horizon {
+                    break;
+                }
+                if !rng.chance(rejoin_p) {
+                    break;
+                }
+                let gap = -rng.unit().max(1e-12).ln() * cfg.offline_gap_days;
+                t = end + gap;
+                if t >= horizon {
+                    break;
+                }
+            }
+            sessions
+        };
+
+        for i in 0..cfg.reachable_online {
+            let permanent = rng.chance(cfg.permanent_fraction);
+            let malicious = i < cfg.n_malicious;
+            let addr = fresh_addr(&mut used, 0.9578, rng);
+            let asn = if malicious && rng.chance(cfg.malicious_as3320_fraction) {
+                3320
+            } else {
+                as_model.sample(NodeClass::Reachable, rng)
+            };
+            let sessions = make_sessions(
+                0.0,
+                permanent || malicious,
+                cfg.session_mean_days,
+                cfg.rejoin_probability,
+                rng,
+            );
+            if let Some(last) = sessions.last() {
+                if last.end < horizon {
+                    departures_to_replace.push(last.end);
+                }
+            }
+            reachable_addrs.insert(addr);
+            reachable.push(CensusNode {
+                addr,
+                asn,
+                sessions,
+                malicious,
+                book: Vec::new(),
+                book_reachable: Vec::new(),
+                permanent: permanent || malicious,
+            });
+        }
+
+        // Replacement arrivals keep the online count roughly constant:
+        // every terminal departure spawns a new node shortly after.
+        let mut queue = departures_to_replace;
+        while let Some(depart_day) = queue.pop() {
+            let start = depart_day + rng.unit() * 0.2;
+            if start >= horizon {
+                continue;
+            }
+            let addr = fresh_addr(&mut used, 0.9578, rng);
+            let asn = as_model.sample(NodeClass::Reachable, rng);
+            // Replacement arrivals are transient: shorter sessions and
+            // fewer rejoins, which is what keeps the unique-address mean
+            // lifetime near the paper's 16.6 days despite rejoin cycling.
+            let sessions = make_sessions(
+                start,
+                false,
+                cfg.session_mean_days * cfg.arrival_session_factor,
+                cfg.rejoin_probability * cfg.arrival_rejoin_factor,
+                rng,
+            );
+            if let Some(last) = sessions.last() {
+                if last.end < horizon {
+                    queue.push(last.end);
+                }
+            }
+            reachable_addrs.insert(addr);
+            reachable.push(CensusNode {
+                addr,
+                asn,
+                sessions,
+                malicious: false,
+                book: Vec::new(),
+                book_reachable: Vec::new(),
+                permanent: false,
+            });
+        }
+
+        // --- Address books. ---
+        let mut flood_pool: Vec<NetAddr> = Vec::new();
+        let flood_base = unreachable.len() as u32;
+        let n_unreach = unreachable.len();
+        let n_reach_total = reachable.len();
+        let flood_scale = bitsync_node::FloodScale::paper();
+        // Figure 8 plots *cumulative* addresses sent over the campaign; a
+        // flooder reveals its whole pool each day, so its unique pool is
+        // the target total divided by the window length, scaled with the
+        // census size.
+        let scale = cfg.unreachable_live as f64 / 195_000.0;
+        for node in reachable.iter_mut() {
+            if node.malicious {
+                let total_target = flood_scale.sample(rng) as f64 * scale.max(0.01);
+                let size = ((total_target / cfg.days as f64).ceil() as usize).max(150);
+                let start = flood_pool.len() as u32;
+                for _ in 0..size {
+                    flood_pool.push(fresh_addr(&mut used, 0.885, rng));
+                }
+                node.book = (start..start + size as u32)
+                    .map(|i| flood_base + i)
+                    .collect();
+            } else {
+                // Log-normal-ish spread around the mean book size.
+                let size = ((cfg.book_mean as f64) * rng.log_normal(0.0, 0.5))
+                    .max(50.0)
+                    .min(n_unreach as f64) as usize;
+                node.book = rng
+                    .sample_indices(n_unreach, size)
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect();
+                // Reachable share r of the total book: r/(1-r) × unreachable.
+                let reach_size = (size as f64 * cfg.book_reachable_fraction
+                    / (1.0 - cfg.book_reachable_fraction))
+                    .round() as usize;
+                node.book_reachable = rng
+                    .sample_indices(n_reach_total, reach_size)
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect();
+            }
+        }
+
+        CensusNetwork {
+            cfg,
+            reachable,
+            unreachable,
+            flood_pool,
+            flood_base,
+            reachable_addrs,
+        }
+    }
+
+    /// Indices of reachable nodes online at fractional `day`.
+    pub fn online_at(&self, day: f64) -> Vec<usize> {
+        self.reachable
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.online_at(day))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Resolves a book index to an address.
+    pub fn book_addr(&self, idx: u32) -> NetAddr {
+        if idx >= self.flood_base {
+            self.flood_pool[(idx - self.flood_base) as usize]
+        } else {
+            self.unreachable[idx as usize].addr
+        }
+    }
+
+    /// Whether a book index points at an address still circulating at
+    /// `day` (flooder addresses always circulate).
+    pub fn book_live(&self, idx: u32, day: f64) -> bool {
+        if idx >= self.flood_base {
+            return true;
+        }
+        let u = &self.unreachable[idx as usize];
+        u.appears <= day && day < u.disappears
+    }
+
+    /// Ground-truth probe of an arbitrary address at `day` (the paper's
+    /// Algorithm 2 mechanics).
+    pub fn probe(&self, addr: &NetAddr, day: f64) -> bitsync_net::ProbeOutcome {
+        if self.reachable_addrs.contains(addr) {
+            // Reachable node: accepted while online; silent otherwise.
+            let online = self
+                .reachable
+                .iter()
+                .any(|n| n.addr == *addr && n.online_at(day));
+            return if online {
+                bitsync_net::ProbeOutcome::Accepted
+            } else {
+                bitsync_net::ProbeOutcome::Silent
+            };
+        }
+        for u in &self.unreachable {
+            if u.addr == *addr {
+                return if u.responsive && u.appears <= day && day < u.disappears {
+                    bitsync_net::ProbeOutcome::RefusedFin
+                } else {
+                    bitsync_net::ProbeOutcome::Silent
+                };
+            }
+        }
+        bitsync_net::ProbeOutcome::Silent
+    }
+
+    /// Simulated wall-clock duration of one full crawl experiment (used
+    /// only for reporting; the census itself is day-indexed).
+    pub fn crawl_duration(&self) -> SimDuration {
+        SimDuration::from_hours(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CensusNetwork {
+        let mut rng = SimRng::seed_from(1);
+        CensusNetwork::generate(CensusConfig::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn initial_online_count_matches_config() {
+        let net = tiny();
+        let online = net.online_at(0.01);
+        // All 60 initial nodes start online.
+        assert!(online.len() >= 55, "online at start: {}", online.len());
+    }
+
+    #[test]
+    fn online_count_stays_roughly_constant() {
+        let net = tiny();
+        for day in [2.0, 5.0, 9.0] {
+            let online = net.online_at(day);
+            assert!(
+                (40..=80).contains(&online.len()),
+                "day {day}: online {}",
+                online.len()
+            );
+        }
+    }
+
+    #[test]
+    fn unique_nodes_exceed_snapshot_size() {
+        let net = tiny();
+        assert!(
+            net.reachable.len() > net.cfg.reachable_online,
+            "uniques {} vs online {}",
+            net.reachable.len(),
+            net.cfg.reachable_online
+        );
+    }
+
+    #[test]
+    fn permanent_nodes_span_whole_window() {
+        let net = tiny();
+        let perms: Vec<&CensusNode> =
+            net.reachable.iter().filter(|n| n.permanent).collect();
+        assert!(!perms.is_empty());
+        for p in perms {
+            assert!(p.online_at(0.5) && p.online_at(9.5));
+        }
+    }
+
+    #[test]
+    fn cumulative_unreachable_grows() {
+        let net = tiny();
+        let at = |day: f64| {
+            net.unreachable
+                .iter()
+                .filter(|u| u.appears <= day)
+                .count()
+        };
+        assert!(at(9.0) > at(1.0));
+        assert!(at(1.0) >= net.cfg.unreachable_live);
+    }
+
+    #[test]
+    fn responsive_fraction_is_calibrated() {
+        let mut rng = SimRng::seed_from(2);
+        let net = CensusNetwork::generate(
+            CensusConfig {
+                unreachable_live: 10_000,
+                ..CensusConfig::tiny()
+            },
+            &mut rng,
+        );
+        let resp = net.unreachable.iter().filter(|u| u.responsive).count();
+        let frac = resp as f64 / net.unreachable.len() as f64;
+        assert!((frac - 0.28).abs() < 0.02, "responsive {frac}");
+    }
+
+    #[test]
+    fn flooder_books_point_into_flood_pool() {
+        let net = tiny();
+        let flooders: Vec<&CensusNode> =
+            net.reachable.iter().filter(|n| n.malicious).collect();
+        assert_eq!(flooders.len(), net.cfg.n_malicious);
+        for f in flooders {
+            assert!(f.book.len() >= 150);
+            for &idx in &f.book {
+                assert!(idx >= net.flood_base);
+                // Flooder addresses are never reachable ground truth.
+                assert!(!net.reachable_addrs.contains(&net.book_addr(idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn honest_books_reference_live_unreachables() {
+        let net = tiny();
+        let honest = net.reachable.iter().find(|n| !n.malicious).unwrap();
+        assert!(!honest.book.is_empty());
+        for &idx in honest.book.iter().take(50) {
+            assert!(idx < net.flood_base);
+            let a = net.book_addr(idx);
+            assert!(!net.reachable_addrs.contains(&a));
+        }
+    }
+
+    #[test]
+    fn probe_classifies_all_three_outcomes() {
+        let net = tiny();
+        let online = &net.reachable[net.online_at(0.5)[0]];
+        assert_eq!(
+            net.probe(&online.addr, 0.5),
+            bitsync_net::ProbeOutcome::Accepted
+        );
+        let resp = net.unreachable.iter().find(|u| u.responsive && u.appears == 0.0).unwrap();
+        assert_eq!(
+            net.probe(&resp.addr, 0.1),
+            bitsync_net::ProbeOutcome::RefusedFin
+        );
+        let silent = net.unreachable.iter().find(|u| !u.responsive).unwrap();
+        assert_eq!(
+            net.probe(&silent.addr, 0.1),
+            bitsync_net::ProbeOutcome::Silent
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let na = CensusNetwork::generate(CensusConfig::tiny(), &mut a);
+        let nb = CensusNetwork::generate(CensusConfig::tiny(), &mut b);
+        assert_eq!(na.reachable.len(), nb.reachable.len());
+        assert_eq!(na.unreachable.len(), nb.unreachable.len());
+        assert_eq!(na.reachable[0].addr, nb.reachable[0].addr);
+    }
+
+    #[test]
+    fn network_lifetime_is_positive_and_bounded() {
+        let net = tiny();
+        for n in &net.reachable {
+            let l = n.network_lifetime_days();
+            assert!(l >= 0.0 && l <= net.cfg.days as f64 + 1e-9);
+        }
+    }
+}

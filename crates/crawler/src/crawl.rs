@@ -1,0 +1,367 @@
+//! The network crawler and scanner: the paper's Algorithm 1 (iterative
+//! `GETADDR` discovery of unreachable addresses) and Algorithm 2 (VER
+//! probing for responsive nodes).
+
+use crate::census::CensusNetwork;
+use bitsync_net::population::ProbeOutcome;
+use bitsync_protocol::addr::NetAddr;
+use bitsync_sim::rng::SimRng;
+use std::collections::HashSet;
+
+/// Result of crawling one reachable node with iterative `GETADDR`.
+#[derive(Clone, Debug, Default)]
+pub struct NodeCrawl {
+    /// Unique addresses the node revealed.
+    pub revealed: Vec<NetAddr>,
+    /// `GETADDR` round-trips used before the stop condition fired.
+    pub getaddr_rounds: u32,
+    /// Of the revealed addresses, how many were reachable ground truth.
+    pub reachable_revealed: usize,
+}
+
+/// Result of one full crawl experiment (one day in the paper's campaign).
+#[derive(Clone, Debug, Default)]
+pub struct CrawlResult {
+    /// Reachable candidates we tried to connect to.
+    pub candidates: usize,
+    /// Candidates that accepted our connection.
+    pub connected: usize,
+    /// Unique unreachable addresses discovered this experiment.
+    pub unreachable_found: HashSet<NetAddr>,
+    /// Per-sender ADDR statistics: (address, total entries, reachable
+    /// entries) — the malicious-detection input.
+    pub sender_stats: Vec<(NetAddr, u64, u64)>,
+}
+
+/// The crawler: connects to every candidate and exhausts its address
+/// tables per Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct Crawler {
+    /// Upper bound on `GETADDR` rounds per node (the real crawler is
+    /// similarly bounded by politeness/time).
+    pub max_rounds_per_node: u32,
+}
+
+impl Default for Crawler {
+    fn default() -> Self {
+        Crawler {
+            max_rounds_per_node: 2_000,
+        }
+    }
+}
+
+impl Crawler {
+    /// Algorithm 1 against one node: send `GETADDR` repeatedly; each
+    /// response is a ≤1000-address sample of the node's tables plus the
+    /// node's own address; stop when a response contains no new address.
+    pub fn crawl_node(
+        &self,
+        net: &CensusNetwork,
+        node_idx: usize,
+        day: f64,
+        rng: &mut SimRng,
+    ) -> NodeCrawl {
+        let node = &net.reachable[node_idx];
+        let mut seen: HashSet<NetAddr> = HashSet::new();
+        let mut revealed = Vec::new();
+        let mut reachable_revealed = 0;
+        let mut rounds = 0;
+
+        // Live entries of the node's book at this time: circulating
+        // unreachable addresses plus the reachable nodes it knows (ADDR
+        // messages are ~15% reachable, §IV-B).
+        let mut live: Vec<NetAddr> = node
+            .book
+            .iter()
+            .copied()
+            .filter(|&i| net.book_live(i, day))
+            .map(|i| net.book_addr(i))
+            .collect();
+        for &r in &node.book_reachable {
+            let peer = &net.reachable[r as usize];
+            if peer.online_at(day) || peer.online_at(day - 1.0) {
+                live.push(peer.addr);
+            }
+        }
+
+        loop {
+            rounds += 1;
+            if rounds > self.max_rounds_per_node {
+                break;
+            }
+            // One ADDR response: up to 1000 sampled entries + self address
+            // (honest nodes only; flooders omit themselves).
+            let batch_size = 1000.min(live.len());
+            let mut new_any = false;
+            if batch_size > 0 {
+                for i in rng.sample_indices(live.len(), batch_size) {
+                    let addr = live[i];
+                    if seen.insert(addr) {
+                        new_any = true;
+                        if net.reachable_addrs.contains(&addr) {
+                            reachable_revealed += 1;
+                        }
+                        revealed.push(addr);
+                    }
+                }
+            }
+            if !node.malicious && seen.insert(node.addr) {
+                new_any = true;
+                reachable_revealed += 1;
+                revealed.push(node.addr);
+            }
+            if !new_any {
+                break; // Algorithm 1 stop condition
+            }
+        }
+        NodeCrawl {
+            revealed,
+            getaddr_rounds: rounds,
+            reachable_revealed,
+        }
+    }
+
+    /// One full experiment: connect to every candidate online at `day`,
+    /// run Algorithm 1 on each, and aggregate.
+    pub fn run_experiment(
+        &self,
+        net: &CensusNetwork,
+        candidates: &[NetAddr],
+        day: f64,
+        rng: &mut SimRng,
+    ) -> CrawlResult {
+        let mut result = CrawlResult {
+            candidates: candidates.len(),
+            ..CrawlResult::default()
+        };
+        // Index census nodes by address once.
+        let index: std::collections::HashMap<NetAddr, usize> = net
+            .reachable
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.addr, i))
+            .collect();
+        for addr in candidates {
+            let Some(&idx) = index.get(addr) else {
+                continue;
+            };
+            if !net.reachable[idx].online_at(day) {
+                continue; // feed staleness: listed but gone
+            }
+            result.connected += 1;
+            let crawl = self.crawl_node(net, idx, day, rng);
+            let total = crawl.revealed.len() as u64;
+            result
+                .sender_stats
+                .push((*addr, total, crawl.reachable_revealed as u64));
+            for a in crawl.revealed {
+                if !net.reachable_addrs.contains(&a) {
+                    result.unreachable_found.insert(a);
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Algorithm 2: probe every address in `targets` with a crafted VER
+/// message; addresses answering with FIN are *responsive*.
+pub fn probe_responsive(
+    net: &CensusNetwork,
+    targets: &HashSet<NetAddr>,
+    day: f64,
+) -> HashSet<NetAddr> {
+    // Build a lookup for unreachable records (linear probe() would be
+    // quadratic over hundreds of thousands of targets).
+    let mut responsive = HashSet::new();
+    let live_responsive: HashSet<NetAddr> = net
+        .unreachable
+        .iter()
+        .filter(|u| u.responsive && u.appears <= day && day < u.disappears)
+        .map(|u| u.addr)
+        .collect();
+    for t in targets {
+        if live_responsive.contains(t) {
+            responsive.insert(*t);
+        }
+    }
+    responsive
+}
+
+/// Classification counts from a set of probes (sanity harness mirroring
+/// the paper's three-node validation deployment).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Probes answered with an accepted connection.
+    pub accepted: usize,
+    /// Probes refused with FIN (responsive unreachable).
+    pub refused_fin: usize,
+    /// Probes with no answer.
+    pub silent: usize,
+}
+
+/// Probes a list of arbitrary addresses and tallies outcomes.
+pub fn probe_all(net: &CensusNetwork, targets: &[NetAddr], day: f64) -> ProbeStats {
+    let mut stats = ProbeStats::default();
+    for t in targets {
+        match net.probe(t, day) {
+            ProbeOutcome::Accepted => stats.accepted += 1,
+            ProbeOutcome::RefusedFin => stats.refused_fin += 1,
+            ProbeOutcome::Silent => stats.silent += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::{CensusConfig, CensusNetwork};
+
+    fn setup() -> (CensusNetwork, SimRng) {
+        let mut rng = SimRng::seed_from(11);
+        let net = CensusNetwork::generate(CensusConfig::tiny(), &mut rng);
+        (net, rng)
+    }
+
+    #[test]
+    fn crawl_reveals_most_of_a_node_book() {
+        let (net, mut rng) = setup();
+        let idx = net
+            .reachable
+            .iter()
+            .position(|n| !n.malicious && n.online_at(0.5))
+            .unwrap();
+        let crawl = Crawler::default().crawl_node(&net, idx, 0.5, &mut rng);
+        let live = net.reachable[idx]
+            .book
+            .iter()
+            .filter(|&&i| net.book_live(i, 0.5))
+            .count();
+        // Iterative GETADDR should eventually reveal nearly everything.
+        assert!(
+            crawl.revealed.len() >= live * 9 / 10,
+            "revealed {} of {live}",
+            crawl.revealed.len()
+        );
+        assert!(crawl.getaddr_rounds >= 1);
+    }
+
+    #[test]
+    fn honest_crawl_includes_self_address() {
+        let (net, mut rng) = setup();
+        let idx = net
+            .reachable
+            .iter()
+            .position(|n| !n.malicious && n.online_at(0.5))
+            .unwrap();
+        let crawl = Crawler::default().crawl_node(&net, idx, 0.5, &mut rng);
+        assert!(crawl.revealed.contains(&net.reachable[idx].addr));
+        assert!(crawl.reachable_revealed >= 1);
+    }
+
+    #[test]
+    fn flooder_crawl_reveals_zero_reachable() {
+        let (net, mut rng) = setup();
+        let idx = net.reachable.iter().position(|n| n.malicious).unwrap();
+        let crawl = Crawler::default().crawl_node(&net, idx, 0.5, &mut rng);
+        assert_eq!(crawl.reachable_revealed, 0);
+        assert!(crawl.revealed.len() >= 150);
+    }
+
+    #[test]
+    fn experiment_aggregates_unreachable_addresses() {
+        let (net, mut rng) = setup();
+        let candidates: Vec<NetAddr> = net
+            .online_at(0.5)
+            .into_iter()
+            .map(|i| net.reachable[i].addr)
+            .collect();
+        let result = Crawler::default().run_experiment(&net, &candidates, 0.5, &mut rng);
+        assert_eq!(result.candidates, candidates.len());
+        assert!(result.connected > 0);
+        assert!(
+            result.unreachable_found.len() > 100,
+            "found {}",
+            result.unreachable_found.len()
+        );
+        // None of the found addresses is reachable ground truth.
+        for a in &result.unreachable_found {
+            assert!(!net.reachable_addrs.contains(a));
+        }
+    }
+
+    #[test]
+    fn offline_candidates_are_skipped() {
+        let (net, mut rng) = setup();
+        // A node that departed: online at 0 but not at day 9.
+        if let Some(n) = net
+            .reachable
+            .iter()
+            .find(|n| n.online_at(0.1) && !n.online_at(9.5))
+        {
+            let result =
+                Crawler::default().run_experiment(&net, &[n.addr], 9.5, &mut rng);
+            assert_eq!(result.connected, 0);
+        }
+    }
+
+    #[test]
+    fn probe_responsive_matches_ground_truth() {
+        let (net, mut rng) = setup();
+        let candidates: Vec<NetAddr> = net
+            .online_at(0.5)
+            .into_iter()
+            .map(|i| net.reachable[i].addr)
+            .collect();
+        let result = Crawler::default().run_experiment(&net, &candidates, 0.5, &mut rng);
+        let responsive = probe_responsive(&net, &result.unreachable_found, 0.5);
+        assert!(!responsive.is_empty());
+        // Responsive ⊂ found, and each is genuinely responsive now.
+        for r in &responsive {
+            assert!(result.unreachable_found.contains(r));
+            assert_eq!(net.probe(r, 0.5), ProbeOutcome::RefusedFin);
+        }
+        // Fraction should be near the configured 23.5% (flood addresses
+        // dilute it downward).
+        let frac = responsive.len() as f64 / result.unreachable_found.len() as f64;
+        assert!(frac > 0.05 && frac < 0.40, "responsive fraction {frac}");
+    }
+
+    #[test]
+    fn probe_all_tallies_every_outcome() {
+        let (net, _rng) = setup();
+        let targets: Vec<NetAddr> = vec![
+            net.reachable[net.online_at(0.5)[0]].addr,
+            net.unreachable
+                .iter()
+                .find(|u| u.responsive && u.appears == 0.0)
+                .unwrap()
+                .addr,
+            net.unreachable
+                .iter()
+                .find(|u| !u.responsive)
+                .unwrap()
+                .addr,
+        ];
+        let stats = probe_all(&net, &targets, 0.3);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.refused_fin, 1);
+        assert_eq!(stats.silent, 1);
+    }
+
+    #[test]
+    fn rounds_bounded() {
+        let (net, mut rng) = setup();
+        let crawler = Crawler {
+            max_rounds_per_node: 3,
+        };
+        let idx = net
+            .reachable
+            .iter()
+            .position(|n| n.online_at(0.5))
+            .unwrap();
+        let crawl = crawler.crawl_node(&net, idx, 0.5, &mut rng);
+        assert!(crawl.getaddr_rounds <= 4);
+    }
+}

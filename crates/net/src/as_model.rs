@@ -1,0 +1,279 @@
+//! Autonomous-system assignment calibrated to the paper's Table I.
+//!
+//! The paper maps each node class to ASes: *reachable* nodes span 2,000
+//! ASes (top 25 host 50%), *unreachable* span 8,494 (top 36 host 50%), and
+//! *responsive* span 4,453 (top 24 host 50%). Table I lists the top-20 ASes
+//! and their hosting percentage per class; the remainder is a heavy tail.
+//!
+//! [`AsModel`] reproduces this: the top-20 get their exact published
+//! weights, and the remaining percentage is spread over the rest of the AS
+//! pool with Zipf-decaying weights.
+
+use crate::population::NodeClass;
+use bitsync_sim::rng::SimRng;
+
+/// Table I, reachable column: (ASN, percent).
+pub const TOP20_REACHABLE: [(u32, f64); 20] = [
+    (3320, 8.08),
+    (24940, 5.05),
+    (8881, 4.60),
+    (16509, 3.62),
+    (6805, 2.97),
+    (14061, 2.84),
+    (7922, 2.55),
+    (16276, 2.43),
+    (3209, 2.06),
+    (12322, 1.37),
+    (7545, 1.33),
+    (15169, 1.03),
+    (3303, 0.99),
+    (6830, 0.95),
+    (12389, 0.94),
+    (701, 0.88),
+    (20676, 0.83),
+    (51167, 0.82),
+    (3352, 0.80),
+    (4134, 0.76),
+];
+
+/// Table I, unreachable column: (ASN, percent).
+pub const TOP20_UNREACHABLE: [(u32, f64); 20] = [
+    (3320, 6.36),
+    (4134, 5.34),
+    (7922, 4.24),
+    (6939, 3.69),
+    (8881, 2.59),
+    (4837, 2.28),
+    (12389, 2.04),
+    (6830, 1.89),
+    (3209, 1.65),
+    (16509, 1.54),
+    (7018, 1.32),
+    (6805, 1.31),
+    (9009, 1.19),
+    (2856, 1.14),
+    (3215, 0.80),
+    (4808, 0.80),
+    (14061, 0.78),
+    (22773, 0.74),
+    (1221, 0.74),
+    (24940, 0.72),
+];
+
+/// Table I, responsive column: (ASN, percent).
+pub const TOP20_RESPONSIVE: [(u32, f64); 20] = [
+    (4134, 6.18),
+    (3320, 5.90),
+    (12389, 4.03),
+    (4837, 3.77),
+    (9009, 3.28),
+    (8881, 3.07),
+    (6805, 2.87),
+    (3209, 2.51),
+    (7922, 1.56),
+    (14061, 1.44),
+    (6830, 1.43),
+    (3352, 1.25),
+    (24940, 1.18),
+    (3269, 1.15),
+    (4808, 1.13),
+    (60068, 1.12),
+    (209, 1.11),
+    (7545, 1.10),
+    (701, 1.07),
+    (16276, 0.99),
+];
+
+/// Total distinct ASes hosting reachable nodes (paper §IV-A1).
+pub const TOTAL_AS_REACHABLE: usize = 2_000;
+/// Total distinct ASes hosting unreachable nodes.
+pub const TOTAL_AS_UNREACHABLE: usize = 8_494;
+/// Total distinct ASes hosting responsive nodes.
+pub const TOTAL_AS_RESPONSIVE: usize = 4_453;
+
+/// Zipf exponent for the tail beyond the top-20.
+const TAIL_EXPONENT: f64 = 0.85;
+/// Synthetic ASNs for the tail start here (avoiding collisions with the
+/// published top-20 ASNs).
+const TAIL_ASN_BASE: u32 = 100_000;
+
+/// One class's AS distribution: explicit head plus Zipf tail.
+#[derive(Clone, Debug)]
+struct ClassDist {
+    asns: Vec<u32>,
+    /// Cumulative weights, normalized to 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl ClassDist {
+    fn build(head: &[(u32, f64)], total_ases: usize) -> Self {
+        let head_pct: f64 = head.iter().map(|(_, p)| p).sum();
+        let tail_count = total_ases.saturating_sub(head.len());
+        let tail_pct = 100.0 - head_pct;
+        // Zipf weights over tail ranks, scaled to tail_pct.
+        let raw: Vec<f64> = (1..=tail_count)
+            .map(|r| 1.0 / (r as f64).powf(TAIL_EXPONENT))
+            .collect();
+        let raw_sum: f64 = raw.iter().sum();
+        let mut asns = Vec::with_capacity(total_ases);
+        let mut weights = Vec::with_capacity(total_ases);
+        for (asn, pct) in head {
+            asns.push(*asn);
+            weights.push(*pct);
+        }
+        for (i, r) in raw.iter().enumerate() {
+            asns.push(TAIL_ASN_BASE + i as u32);
+            weights.push(tail_pct * r / raw_sum);
+        }
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ClassDist { asns, cumulative }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> u32 {
+        let u = rng.unit();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.asns.len() - 1);
+        self.asns[idx]
+    }
+}
+
+/// Samples ASNs for nodes of each class, matching Table I.
+///
+/// # Examples
+///
+/// ```
+/// use bitsync_net::as_model::AsModel;
+/// use bitsync_net::population::NodeClass;
+/// use bitsync_sim::rng::SimRng;
+///
+/// let model = AsModel::from_paper();
+/// let mut rng = SimRng::seed_from(1);
+/// let asn = model.sample(NodeClass::Reachable, &mut rng);
+/// assert!(asn > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsModel {
+    reachable: ClassDist,
+    unreachable_silent: ClassDist,
+    responsive: ClassDist,
+}
+
+impl AsModel {
+    /// Builds the model from the paper's Table I and AS totals.
+    pub fn from_paper() -> Self {
+        AsModel {
+            reachable: ClassDist::build(&TOP20_REACHABLE, TOTAL_AS_REACHABLE),
+            unreachable_silent: ClassDist::build(&TOP20_UNREACHABLE, TOTAL_AS_UNREACHABLE),
+            responsive: ClassDist::build(&TOP20_RESPONSIVE, TOTAL_AS_RESPONSIVE),
+        }
+    }
+
+    /// Samples an ASN for a node of `class`.
+    pub fn sample(&self, class: NodeClass, rng: &mut SimRng) -> u32 {
+        match class {
+            NodeClass::Reachable => self.reachable.sample(rng),
+            NodeClass::UnreachableSilent => self.unreachable_silent.sample(rng),
+            NodeClass::UnreachableResponsive => self.responsive.sample(rng),
+        }
+    }
+}
+
+impl Default for AsModel {
+    fn default() -> Self {
+        Self::from_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn histogram(class: NodeClass, n: usize) -> HashMap<u32, usize> {
+        let model = AsModel::from_paper();
+        let mut rng = SimRng::seed_from(77);
+        let mut h = HashMap::new();
+        for _ in 0..n {
+            *h.entry(model.sample(class, &mut rng)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn reachable_head_matches_table1() {
+        let n = 200_000;
+        let h = histogram(NodeClass::Reachable, n);
+        let pct = |asn: u32| 100.0 * *h.get(&asn).unwrap_or(&0) as f64 / n as f64;
+        assert!((pct(3320) - 8.08).abs() < 0.5, "AS3320 {}", pct(3320));
+        assert!((pct(24940) - 5.05).abs() < 0.5, "AS24940 {}", pct(24940));
+        assert!((pct(4134) - 0.76).abs() < 0.3, "AS4134 {}", pct(4134));
+    }
+
+    #[test]
+    fn responsive_head_flips_as4134_to_top() {
+        let n = 200_000;
+        let h = histogram(NodeClass::UnreachableResponsive, n);
+        let c4134 = *h.get(&4134).unwrap_or(&0);
+        let c3320 = *h.get(&3320).unwrap_or(&0);
+        // In the responsive column AS4134 leads AS3320 (6.18% vs 5.90%).
+        assert!(c4134 > 0 && c3320 > 0);
+        assert!(
+            c4134 as f64 > 0.9 * c3320 as f64,
+            "AS4134={c4134} AS3320={c3320}"
+        );
+    }
+
+    #[test]
+    fn tail_is_heavy_but_present() {
+        let n = 100_000;
+        let h = histogram(NodeClass::UnreachableSilent, n);
+        let head_asns: Vec<u32> = TOP20_UNREACHABLE.iter().map(|(a, _)| *a).collect();
+        let head: usize = head_asns.iter().map(|a| h.get(a).copied().unwrap_or(0)).sum();
+        let head_frac = head as f64 / n as f64;
+        // Head should be ~41% (sum of Table I unreachable column).
+        assert!(
+            (head_frac - 0.41).abs() < 0.05,
+            "head fraction {head_frac}"
+        );
+        // Tail spans many distinct ASes.
+        assert!(h.len() > 1000, "distinct ASes {}", h.len());
+    }
+
+    #[test]
+    fn concentration_roughly_matches_paper() {
+        // Top-25 ASes should host close to 50% of reachable nodes.
+        let n = 100_000;
+        let h = histogram(NodeClass::Reachable, n);
+        let mut counts: Vec<usize> = h.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top25: usize = counts.iter().take(25).sum();
+        let frac = top25 as f64 / n as f64;
+        assert!(
+            frac > 0.42 && frac < 0.58,
+            "top-25 reachable concentration {frac}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = AsModel::from_paper();
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        for _ in 0..100 {
+            assert_eq!(
+                model.sample(NodeClass::Reachable, &mut a),
+                model.sample(NodeClass::Reachable, &mut b)
+            );
+        }
+    }
+}

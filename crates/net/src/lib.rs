@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! `bitsync-net` — the simulated network substrate:
+//!
+//! - [`population`]: the ground-truth node census (reachable / responsive /
+//!   silent classes, ports, firewall behaviour) the measurement pipeline
+//!   runs against.
+//! - [`as_model`]: Autonomous-System assignment calibrated to the paper's
+//!   Table I.
+//! - [`latency`]: deterministic pairwise AS-level delays, bandwidth, and
+//!   connect timeouts.
+//! - [`churn`]: session lifetimes and rejoin behaviour (§IV-D).
+//!
+//! # Examples
+//!
+//! ```
+//! use bitsync_net::population::{Population, PopulationConfig};
+//! use bitsync_sim::rng::SimRng;
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let pop = Population::generate(&PopulationConfig::tiny(), &mut rng);
+//! assert!(pop.unreachable().len() > pop.reachable().len());
+//! ```
+
+pub mod as_model;
+pub mod churn;
+pub mod latency;
+pub mod population;
+
+pub use as_model::AsModel;
+pub use churn::{ChurnConfig, ChurnModel, Rejoin};
+pub use latency::{LatencyConfig, LatencyModel};
+pub use population::{NodeClass, NodeSpec, Population, PopulationConfig, ProbeOutcome};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use bitsync_sim::rng::SimRng;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Populations always honor their configured sizes, keep addresses
+        /// unique, and classify probe outcomes consistently.
+        #[test]
+        fn population_invariants(n_reach in 1usize..80, n_unreach in 0usize..400, seed in any::<u64>()) {
+            let cfg = PopulationConfig {
+                n_reachable: n_reach,
+                n_unreachable: n_unreach,
+                ..PopulationConfig::paper_scale()
+            };
+            let mut rng = SimRng::seed_from(seed);
+            let pop = Population::generate(&cfg, &mut rng);
+            prop_assert_eq!(pop.reachable().len(), n_reach);
+            prop_assert_eq!(pop.unreachable().len(), n_unreach);
+            let addrs: std::collections::HashSet<_> = pop.nodes.iter().map(|n| n.addr).collect();
+            prop_assert_eq!(addrs.len(), pop.len());
+            for node in pop.reachable() {
+                prop_assert_eq!(node.probe(), ProbeOutcome::Accepted);
+            }
+            for node in pop.unreachable() {
+                prop_assert!(node.probe() != ProbeOutcome::Accepted);
+            }
+        }
+
+        /// Latency is always positive, symmetric, and within the clamp.
+        #[test]
+        fn latency_invariants(a in 0u32..100_000, b in 0u32..100_000, seed in any::<u64>()) {
+            let m = LatencyModel::new(LatencyConfig::internet_2020(), seed);
+            let d = m.base_delay(a, b);
+            prop_assert_eq!(d, m.base_delay(b, a));
+            let ms = d.as_secs_f64() * 1000.0;
+            prop_assert!(ms > 0.0 && ms <= 2000.0);
+        }
+    }
+}

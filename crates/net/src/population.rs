@@ -1,0 +1,343 @@
+//! The ground-truth node population the measurement pipeline runs against.
+//!
+//! The paper's census (§IV-A): ~10K reachable nodes online at a time (28,781
+//! unique over 60 days), 694,696 unique unreachable addresses of which
+//! 163,496 (23.5%) are *responsive* (drop inbound connections by answering a
+//! VER probe with FIN). 95.78% of reachable and 88.54% of unreachable nodes
+//! use port 8333.
+//!
+//! [`Population::generate`] produces a synthetic population with these
+//! statistics (scalable via [`PopulationConfig`]); every node gets a unique
+//! IPv4 address, an AS from the Table I model, a port, and a firewall
+//! policy.
+
+use crate::as_model::AsModel;
+use bitsync_protocol::addr::{NetAddr, DEFAULT_PORT};
+use bitsync_sim::rng::SimRng;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Ground-truth classification of a node (what the crawler tries to infer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Accepts inbound connections (up to 117) and makes 8 outbound.
+    Reachable,
+    /// Behind NAT/firewall but running Bitcoin: refuses inbound connections
+    /// with a FIN, so a VER probe gets a response.
+    UnreachableResponsive,
+    /// Unreachable and silent: inbound packets are dropped (strict firewall
+    /// or the address is stale/fabricated).
+    UnreachableSilent,
+}
+
+impl NodeClass {
+    /// Whether the node is unreachable (either kind).
+    pub fn is_unreachable(self) -> bool {
+        !matches!(self, NodeClass::Reachable)
+    }
+}
+
+/// What happens when a remote endpoint sends this node a TCP SYN / VER
+/// probe (the paper's Algorithm 2 mechanics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Connection accepted: the node is reachable.
+    Accepted,
+    /// Connection refused with FIN: the node is unreachable but responsive.
+    RefusedFin,
+    /// No answer at all: silent.
+    Silent,
+}
+
+/// A ground-truth node.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Unique endpoint.
+    pub addr: NetAddr,
+    /// Ground-truth class.
+    pub class: NodeClass,
+    /// Hosting AS.
+    pub asn: u32,
+    /// Whether this node never leaves the network (the paper found 3,034
+    /// such always-on reachable nodes).
+    pub permanent: bool,
+}
+
+impl NodeSpec {
+    /// The outcome of probing this node from outside (Algorithm 2).
+    pub fn probe(&self) -> ProbeOutcome {
+        match self.class {
+            NodeClass::Reachable => ProbeOutcome::Accepted,
+            NodeClass::UnreachableResponsive => ProbeOutcome::RefusedFin,
+            NodeClass::UnreachableSilent => ProbeOutcome::Silent,
+        }
+    }
+}
+
+/// Parameters for synthetic population generation.
+#[derive(Clone, Debug)]
+pub struct PopulationConfig {
+    /// Reachable nodes online at generation time (paper: ~10,114 in the
+    /// Bitnodes view; 8,270 connectable on average).
+    pub n_reachable: usize,
+    /// Unreachable addresses in existence (paper: ~195K live per snapshot).
+    pub n_unreachable: usize,
+    /// Fraction of unreachable nodes that answer a VER probe (paper:
+    /// 163,496 / 694,696 ≈ 23.5% cumulative; ≈27.7% per snapshot).
+    pub responsive_fraction: f64,
+    /// Fraction of reachable nodes on port 8333 (paper: 95.78%).
+    pub reachable_default_port_fraction: f64,
+    /// Fraction of unreachable nodes on port 8333 (paper: 88.54%).
+    pub unreachable_default_port_fraction: f64,
+    /// Fraction of reachable nodes that never churn (paper: 3,034 of 28,781
+    /// unique ≈ 10.5%; of a ~8.2K snapshot ≈ 37%. We parameterize on the
+    /// snapshot view).
+    pub permanent_fraction: f64,
+}
+
+impl PopulationConfig {
+    /// Full paper-scale population (hundreds of thousands of addresses —
+    /// cheap, since nodes are specs, not running protocol machines).
+    pub fn paper_scale() -> Self {
+        PopulationConfig {
+            n_reachable: 10_114,
+            n_unreachable: 195_000,
+            responsive_fraction: 0.277,
+            reachable_default_port_fraction: 0.9578,
+            unreachable_default_port_fraction: 0.8854,
+            permanent_fraction: 0.37,
+        }
+    }
+
+    /// A 1:10 scale for faster experiments; all fractions unchanged.
+    pub fn small_scale() -> Self {
+        PopulationConfig {
+            n_reachable: 1_000,
+            n_unreachable: 19_500,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// A tiny population for unit tests.
+    pub fn tiny() -> Self {
+        PopulationConfig {
+            n_reachable: 50,
+            n_unreachable: 500,
+            ..Self::paper_scale()
+        }
+    }
+}
+
+/// The generated ground-truth population.
+#[derive(Clone, Debug)]
+pub struct Population {
+    /// All nodes; reachable first, then unreachable.
+    pub nodes: Vec<NodeSpec>,
+    /// Index of the first unreachable node in `nodes`.
+    first_unreachable: usize,
+}
+
+impl Population {
+    /// Generates a population per `cfg`, with unique addresses, Table I AS
+    /// assignment, and the configured port/firewall mix.
+    pub fn generate(cfg: &PopulationConfig, rng: &mut SimRng) -> Self {
+        let as_model = AsModel::from_paper();
+        let mut used: HashSet<u32> = HashSet::new();
+        let total = cfg.n_reachable + cfg.n_unreachable;
+        let mut nodes = Vec::with_capacity(total);
+        for i in 0..total {
+            let reachable = i < cfg.n_reachable;
+            let class = if reachable {
+                NodeClass::Reachable
+            } else if rng.chance(cfg.responsive_fraction) {
+                NodeClass::UnreachableResponsive
+            } else {
+                NodeClass::UnreachableSilent
+            };
+            let ip = loop {
+                // Public-ish space: avoid 0.x, 10.x, 127.x, 192.168, 224+.
+                let candidate = rng.below(0xdfff_ffff) as u32 + 0x0100_0000;
+                let first = (candidate >> 24) as u8;
+                if first == 10 || first == 127 || first >= 224 {
+                    continue;
+                }
+                if used.insert(candidate) {
+                    break candidate;
+                }
+            };
+            let default_port_frac = if reachable {
+                cfg.reachable_default_port_fraction
+            } else {
+                cfg.unreachable_default_port_fraction
+            };
+            let port = if rng.chance(default_port_frac) {
+                DEFAULT_PORT
+            } else {
+                1024 + rng.below(60_000) as u16
+            };
+            let addr = NetAddr::from_ipv4(Ipv4Addr::from(ip), port);
+            let asn = as_model.sample(class, rng);
+            let permanent = reachable && rng.chance(cfg.permanent_fraction);
+            nodes.push(NodeSpec {
+                addr,
+                class,
+                asn,
+                permanent,
+            });
+        }
+        Population {
+            nodes,
+            first_unreachable: cfg.n_reachable,
+        }
+    }
+
+    /// All reachable node specs.
+    pub fn reachable(&self) -> &[NodeSpec] {
+        &self.nodes[..self.first_unreachable]
+    }
+
+    /// All unreachable node specs (responsive and silent).
+    pub fn unreachable(&self) -> &[NodeSpec] {
+        &self.nodes[self.first_unreachable..]
+    }
+
+    /// Looks up a node by address (linear; build your own index for bulk
+    /// workloads).
+    pub fn find(&self, addr: &NetAddr) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.addr == *addr)
+    }
+
+    /// Count of responsive unreachable nodes.
+    pub fn responsive_count(&self) -> usize {
+        self.unreachable()
+            .iter()
+            .filter(|n| n.class == NodeClass::UnreachableResponsive)
+            .count()
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_pop() -> Population {
+        let mut rng = SimRng::seed_from(42);
+        Population::generate(&PopulationConfig::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let p = tiny_pop();
+        assert_eq!(p.reachable().len(), 50);
+        assert_eq!(p.unreachable().len(), 500);
+        assert_eq!(p.len(), 550);
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let p = tiny_pop();
+        let set: HashSet<NetAddr> = p.nodes.iter().map(|n| n.addr).collect();
+        assert_eq!(set.len(), p.len());
+    }
+
+    #[test]
+    fn responsive_fraction_approximate() {
+        let mut rng = SimRng::seed_from(7);
+        let cfg = PopulationConfig {
+            n_reachable: 100,
+            n_unreachable: 20_000,
+            ..PopulationConfig::paper_scale()
+        };
+        let p = Population::generate(&cfg, &mut rng);
+        let frac = p.responsive_count() as f64 / p.unreachable().len() as f64;
+        assert!((frac - 0.277).abs() < 0.02, "responsive fraction {frac}");
+    }
+
+    #[test]
+    fn port_distribution_matches_paper() {
+        let mut rng = SimRng::seed_from(8);
+        let cfg = PopulationConfig {
+            n_reachable: 5_000,
+            n_unreachable: 20_000,
+            ..PopulationConfig::paper_scale()
+        };
+        let p = Population::generate(&cfg, &mut rng);
+        let r_frac = p
+            .reachable()
+            .iter()
+            .filter(|n| n.addr.is_default_port())
+            .count() as f64
+            / p.reachable().len() as f64;
+        let u_frac = p
+            .unreachable()
+            .iter()
+            .filter(|n| n.addr.is_default_port())
+            .count() as f64
+            / p.unreachable().len() as f64;
+        assert!((r_frac - 0.9578).abs() < 0.02, "reachable 8333 {r_frac}");
+        assert!((u_frac - 0.8854).abs() < 0.02, "unreachable 8333 {u_frac}");
+    }
+
+    #[test]
+    fn probe_outcomes_follow_class() {
+        let p = tiny_pop();
+        for n in &p.nodes {
+            let expected = match n.class {
+                NodeClass::Reachable => ProbeOutcome::Accepted,
+                NodeClass::UnreachableResponsive => ProbeOutcome::RefusedFin,
+                NodeClass::UnreachableSilent => ProbeOutcome::Silent,
+            };
+            assert_eq!(n.probe(), expected);
+        }
+    }
+
+    #[test]
+    fn only_reachable_nodes_are_permanent() {
+        let p = tiny_pop();
+        for n in p.unreachable() {
+            assert!(!n.permanent);
+        }
+        assert!(p.reachable().iter().any(|n| n.permanent));
+    }
+
+    #[test]
+    fn reserved_space_avoided() {
+        let p = tiny_pop();
+        for n in &p.nodes {
+            let v4 = n.addr.as_ipv4().unwrap();
+            let first = v4.octets()[0];
+            assert!(first != 0 && first != 10 && first != 127 && first < 224);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut a = SimRng::seed_from(3);
+        let mut b = SimRng::seed_from(3);
+        let pa = Population::generate(&PopulationConfig::tiny(), &mut a);
+        let pb = Population::generate(&PopulationConfig::tiny(), &mut b);
+        assert_eq!(pa.nodes.len(), pb.nodes.len());
+        for (x, y) in pa.nodes.iter().zip(&pb.nodes) {
+            assert_eq!(x.addr, y.addr);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.asn, y.asn);
+        }
+    }
+
+    #[test]
+    fn unreachable_is_24x_reachable_at_paper_scale() {
+        let cfg = PopulationConfig::paper_scale();
+        let ratio = cfg.n_unreachable as f64 / cfg.n_reachable as f64;
+        assert!(ratio > 15.0, "snapshot ratio {ratio}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Node behaviour configuration.
+
+use bitsync_addrman::AddrManConfig;
+use bitsync_sim::time::SimDuration;
+
+/// How transactions are announced to peers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxAnnounce {
+    /// Send the full `TX` immediately to every peer (the simulation
+    /// default; see DESIGN.md §8 on this simplification).
+    Flood,
+    /// Bitcoin Core's Poisson "trickle": queue txids and flush them as
+    /// `INV` batches at randomized per-peer intervals (outbound peers
+    /// ~2 s, inbound ~5 s), letting peers fetch with `GETDATA`.
+    Trickle,
+}
+
+/// The §V relay refinement: how a node orders its outgoing messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelayPolicy {
+    /// Put block-bearing messages at the front of each peer's send queue
+    /// instead of behind pending request responses.
+    pub prioritize_blocks: bool,
+    /// Serve outbound (always-reachable) connections before inbound ones in
+    /// the round-robin send loop.
+    pub outbound_first: bool,
+}
+
+impl RelayPolicy {
+    /// Bitcoin Core 0.20: strict FIFO per peer, connection order as-is.
+    pub fn bitcoin_core() -> Self {
+        RelayPolicy {
+            prioritize_blocks: false,
+            outbound_first: false,
+        }
+    }
+
+    /// The paper's §V proposal.
+    pub fn paper_proposal() -> Self {
+        RelayPolicy {
+            prioritize_blocks: true,
+            outbound_first: true,
+        }
+    }
+}
+
+/// Full configuration of a simulated node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Maximum full outbound connections (Core: 8).
+    pub max_outbound: usize,
+    /// Maximum inbound connections (Core: 117).
+    pub max_inbound: usize,
+    /// Interval between feeler-connection attempts (Core: one every 2 min).
+    pub feeler_interval: SimDuration,
+    /// Message-pump cycle time: how often the `ThreadMessageHandler` loop
+    /// runs one round over all peers (Core: wakes at 100 ms granularity).
+    pub pump_interval: SimDuration,
+    /// Interval of the outbound-connection maintenance loop (Core's
+    /// `ThreadOpenConnections` paces roughly every 500 ms).
+    pub connect_loop_interval: SimDuration,
+    /// Upload bandwidth, bytes/second — the shared socket-writer budget
+    /// that makes round-robin relay serialize (§IV-C).
+    pub upload_bandwidth: f64,
+    /// Address manager policy knobs.
+    pub addrman: AddrManConfig,
+    /// Send-queue ordering policy.
+    pub relay: RelayPolicy,
+    /// Whether the node negotiates BIP 152 compact blocks.
+    pub compact_blocks: bool,
+    /// Transaction announcement mode.
+    pub tx_announce: TxAnnounce,
+    /// Mean `INV` trickle interval for outbound peers (Core: 2 s Poisson).
+    pub inv_interval_outbound: SimDuration,
+    /// Mean `INV` trickle interval for inbound peers (Core: 5 s Poisson).
+    pub inv_interval_inbound: SimDuration,
+    /// How many peers an unsolicited small `ADDR` is forwarded to (Core: 2).
+    pub addr_relay_fanout: usize,
+    /// Cache `GETADDR` responses for this long (Bitcoin Core 0.21 added a
+    /// ~24 h cache precisely to blunt the iterative crawling this paper's
+    /// Algorithm 1 performs). `None` reproduces 0.20 (no cache).
+    pub getaddr_cache: Option<SimDuration>,
+    /// Keepalive ping interval (Core: ~2 minutes).
+    pub ping_interval: SimDuration,
+    /// Disconnect a peer silent for this long (Core: 20 minutes).
+    pub peer_timeout: SimDuration,
+    /// Mempool capacity, transactions.
+    pub mempool_capacity: usize,
+}
+
+impl NodeConfig {
+    /// Bitcoin Core 0.20 defaults.
+    pub fn bitcoin_core() -> Self {
+        NodeConfig {
+            max_outbound: 8,
+            max_inbound: 117,
+            feeler_interval: SimDuration::from_secs(120),
+            pump_interval: SimDuration::from_millis(100),
+            connect_loop_interval: SimDuration::from_millis(500),
+            upload_bandwidth: 2_000_000.0,
+            addrman: AddrManConfig::bitcoin_core(),
+            relay: RelayPolicy::bitcoin_core(),
+            compact_blocks: true,
+            tx_announce: TxAnnounce::Flood,
+            inv_interval_outbound: SimDuration::from_secs(2),
+            inv_interval_inbound: SimDuration::from_secs(5),
+            addr_relay_fanout: 2,
+            getaddr_cache: None,
+            ping_interval: SimDuration::from_secs(120),
+            peer_timeout: SimDuration::from_mins(20),
+            mempool_capacity: 50_000,
+        }
+    }
+
+    /// The paper's §V proposal: tried-only ADDR, 17-day horizon, and
+    /// prioritized block relay.
+    pub fn paper_proposal() -> Self {
+        NodeConfig {
+            addrman: AddrManConfig::paper_proposal(),
+            relay: RelayPolicy::paper_proposal(),
+            ..Self::bitcoin_core()
+        }
+    }
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self::bitcoin_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_defaults() {
+        let c = NodeConfig::bitcoin_core();
+        assert_eq!(c.max_outbound, 8);
+        assert_eq!(c.max_inbound, 117);
+        assert_eq!(c.feeler_interval, SimDuration::from_secs(120));
+        assert!(!c.relay.prioritize_blocks);
+        assert!(!c.relay.outbound_first);
+    }
+
+    #[test]
+    fn proposal_flips_relay_and_addrman() {
+        let c = NodeConfig::paper_proposal();
+        assert!(c.relay.prioritize_blocks);
+        assert!(c.relay.outbound_first);
+        assert!(c.addrman.getaddr_from_tried_only);
+        assert_eq!(c.addrman.horizon_days, 17);
+        assert_eq!(c.max_outbound, 8); // unchanged
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! `bitsync-node` — the Bitcoin Core node behaviour model and the
+//! event-driven world that hosts a population of them.
+//!
+//! - [`node`]: the per-node state machine — handshake, `ADDR` gossip,
+//!   block/transaction relay, and the round-robin message pump that
+//!   reproduces the paper's Figure 9 / Algorithm 3 semantics.
+//! - [`peer`]: per-connection state (`vProcessMsg` / `vSendMessage`).
+//! - [`config`]: Core-0.20 defaults plus the §V refinement knobs.
+//! - [`malicious`]: the ADDR-flooding adversary of §IV-B / Figure 8.
+//! - [`world`]: the substitute for the live network — population, dial
+//!   resolution against ground truth, latency, churn, mining, and the
+//!   instrumentation hooks every experiment reads.
+//!
+//! # Examples
+//!
+//! A 20-node network that converges on a mined block:
+//!
+//! ```
+//! use bitsync_node::world::{World, WorldConfig};
+//! use bitsync_sim::time::{SimDuration, SimTime};
+//!
+//! let mut world = World::new(WorldConfig {
+//!     seed: 7,
+//!     n_reachable: 10,
+//!     n_unreachable_full: 2,
+//!     n_phantoms: 50,
+//!     seed_reachable: 8,
+//!     seed_phantoms: 5,
+//!     block_interval: Some(SimDuration::from_secs(60)),
+//!     ..WorldConfig::default()
+//! });
+//! world.run_until(SimTime::from_secs(600));
+//! assert!(world.best_height() > 0);
+//! ```
+
+pub mod config;
+pub mod malicious;
+pub mod node;
+pub mod peer;
+pub mod world;
+
+pub use config::{NodeConfig, RelayPolicy, TxAnnounce};
+pub use malicious::{AddrFlooder, FloodScale};
+pub use node::{unix_time, Node, NodeRequest, NodeStats, Outgoing, SIM_EPOCH_UNIX};
+pub use peer::{Direction, Handshake, NodeId, Peer};
+pub use world::{ChurnEvent, World, WorldConfig};

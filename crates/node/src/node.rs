@@ -1,0 +1,980 @@
+//! The simulated Bitcoin Core node: handshake, address gossip, block and
+//! transaction relay, and the round-robin message pump of the paper's
+//! Figure 9 / Algorithm 3.
+//!
+//! A [`Node`] is a pure state machine: the world delivers messages into
+//! per-peer `vProcessMsg` queues and periodically invokes [`Node::pump`],
+//! which mirrors Bitcoin Core's two threads:
+//!
+//! - `ThreadMessageHandler`: one inbound message processed per peer per
+//!   round (responses are appended to that peer's `vSendMessage`);
+//! - `SocketHandler`: one outbound message flushed per peer per round, with
+//!   all sends serialized through a single upload-bandwidth budget.
+//!
+//! The serialization plus the one-per-peer-per-round discipline is exactly
+//! what produces the paper's relay tail (blocks reaching the last connection
+//! up to 17 s late, Figure 10).
+
+use crate::config::{NodeConfig, TxAnnounce};
+use crate::peer::{Direction, Handshake, NodeId, Peer};
+use bitsync_addrman::AddrMan;
+use bitsync_chain::{ChainState, Mempool};
+use bitsync_protocol::addr::{NetAddr, TimestampedAddr, NODE_NETWORK};
+use bitsync_protocol::block::Block;
+use bitsync_protocol::compact::{reconstruct, BlockTxn, BlockTxnRequest, CompactBlock, Reconstruction};
+use bitsync_protocol::hash::{Hash256, InvType, InvVect};
+use bitsync_protocol::message::{GetHeaders, Message, SendCmpct, VersionMsg, PROTOCOL_VERSION};
+use bitsync_protocol::tx::Transaction;
+use bitsync_sim::rng::SimRng;
+use bitsync_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// UNIX timestamp of simulation time zero (April 4, 2020 — the start of the
+/// paper's measurement window).
+pub const SIM_EPOCH_UNIX: i64 = 1_585_958_400;
+
+/// Converts simulated time to UNIX seconds.
+pub fn unix_time(now: SimTime) -> i64 {
+    SIM_EPOCH_UNIX + now.as_secs() as i64
+}
+
+/// A request from the node to the hosting world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeRequest {
+    /// Tear down the connection to this peer (e.g. a completed feeler).
+    Disconnect(NodeId),
+}
+
+/// A message handed to the socket writer, with its computed transmission
+/// window on the shared upload link.
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// Destination peer.
+    pub to: NodeId,
+    /// The message.
+    pub msg: Message,
+    /// When the socket writer started transmitting it.
+    pub send_start: SimTime,
+    /// When transmission finished (delivery latency is added by the world).
+    pub send_end: SimTime,
+}
+
+/// Counters the experiments read off a node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Outgoing connection attempts started.
+    pub attempts: u64,
+    /// Outgoing connections that completed a handshake.
+    pub successes: u64,
+    /// Feeler attempts started.
+    pub feeler_attempts: u64,
+    /// ADDR entries received.
+    pub addrs_received: u64,
+    /// ADDR messages received.
+    pub addr_msgs_received: u64,
+    /// Blocks accepted into the chain.
+    pub blocks_accepted: u64,
+    /// Transactions accepted into the mempool.
+    pub txs_accepted: u64,
+    /// Messages processed by the pump.
+    pub msgs_processed: u64,
+    /// Messages flushed by the socket writer.
+    pub msgs_sent: u64,
+}
+
+/// A compact block awaiting its missing transactions.
+#[derive(Clone, Debug)]
+struct PendingCompact {
+    cb: CompactBlock,
+    from: NodeId,
+}
+
+/// A simulated Bitcoin node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// World identity.
+    pub id: NodeId,
+    /// Own endpoint (advertised in `VERSION` and self-`ADDR`).
+    pub addr: NetAddr,
+    /// Ground truth: whether inbound connections can reach us.
+    pub reachable: bool,
+    /// Behaviour configuration.
+    pub cfg: NodeConfig,
+    /// The address manager.
+    pub addrman: AddrMan,
+    /// Chain state.
+    pub chain: ChainState,
+    /// Transaction pool.
+    pub mempool: Mempool,
+    /// Connected peers (ordered map for deterministic iteration).
+    pub peers: BTreeMap<NodeId, Peer>,
+    /// Endpoint of each connected peer.
+    pub peer_addrs: BTreeMap<NodeId, NetAddr>,
+    /// Round-robin order (connection order, as in Core).
+    peer_order: Vec<NodeId>,
+    /// When the shared socket writer frees up.
+    socket_free_at: SimTime,
+    /// Outstanding dial, if any (Core opens one at a time).
+    in_flight_attempt: Option<(NetAddr, Direction)>,
+    /// Compact blocks awaiting `BLOCKTXN`.
+    pending_compact: HashMap<Hash256, PendingCompact>,
+    /// Orphan blocks awaiting their parent.
+    orphans: HashMap<Hash256, Block>,
+    /// Peers we already answered `GETADDR` for (Core answers once).
+    getaddr_answered: Vec<NodeId>,
+    /// Cached `GETADDR` response and its expiry (Core 0.21 behaviour when
+    /// `cfg.getaddr_cache` is set).
+    getaddr_cached: Option<(Vec<TimestampedAddr>, SimTime)>,
+    /// Instrumentation counters.
+    pub stats: NodeStats,
+    /// When set, the node is ADDR-flooding malware (§IV-B, Figure 8).
+    pub flooder: Option<crate::malicious::AddrFlooder>,
+    rng: SimRng,
+}
+
+impl Node {
+    /// Creates a node at `addr`.
+    pub fn new(id: NodeId, addr: NetAddr, reachable: bool, cfg: NodeConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let addrman_key = rng.next_u64();
+        Node {
+            id,
+            addr,
+            reachable,
+            addrman: AddrMan::new(addrman_key, cfg.addrman),
+            cfg,
+            chain: ChainState::with_genesis(),
+            mempool: Mempool::new(50_000),
+            peers: BTreeMap::new(),
+            peer_addrs: BTreeMap::new(),
+            peer_order: Vec::new(),
+            socket_free_at: SimTime::ZERO,
+            in_flight_attempt: None,
+            pending_compact: HashMap::new(),
+            orphans: HashMap::new(),
+            getaddr_answered: Vec::new(),
+            getaddr_cached: None,
+            stats: NodeStats::default(),
+            flooder: None,
+            rng,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Connection lifecycle (driven by the world)
+    // ------------------------------------------------------------------
+
+    /// Number of live outbound (non-feeler) connections, including ones
+    /// still handshaking.
+    pub fn outbound_count(&self) -> usize {
+        self.peers
+            .values()
+            .filter(|p| p.dir == Direction::Outbound)
+            .count()
+    }
+
+    /// Number of live inbound connections.
+    pub fn inbound_count(&self) -> usize {
+        self.peers
+            .values()
+            .filter(|p| p.dir == Direction::Inbound)
+            .count()
+    }
+
+    /// Live connections of any kind.
+    pub fn connection_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Outgoing connections including in-flight feelers — the quantity the
+    /// paper's Figure 6 plots via RPC, where the two feeler slots push the
+    /// momentary total to 10.
+    pub fn outgoing_count(&self) -> usize {
+        self.peers
+            .values()
+            .filter(|p| p.dir != Direction::Inbound)
+            .count()
+            + usize::from(self.in_flight_attempt.is_some())
+    }
+
+    /// Whether a new inbound connection would be accepted.
+    pub fn accepts_inbound(&self) -> bool {
+        self.reachable && self.inbound_count() < self.cfg.max_inbound
+    }
+
+    /// Whether the node wants to dial a new outbound connection now.
+    pub fn wants_outbound(&self) -> bool {
+        self.in_flight_attempt.is_none() && self.outbound_count() < self.cfg.max_outbound
+    }
+
+    /// Picks the next outbound target from addrman and records the attempt.
+    /// Returns `None` when the address book is empty or a dial is already
+    /// in flight.
+    pub fn begin_outbound_attempt(&mut self, now: SimTime) -> Option<NetAddr> {
+        if !self.wants_outbound() {
+            return None;
+        }
+        let target = self.addrman.select(&mut self.rng, unix_time(now))?;
+        if target == self.addr || self.peer_addrs.values().any(|a| *a == target) {
+            return None; // already connected or self; retry next tick
+        }
+        self.addrman.attempt(&target, unix_time(now));
+        self.in_flight_attempt = Some((target, Direction::Outbound));
+        self.stats.attempts += 1;
+        Some(target)
+    }
+
+    /// Picks a feeler target (Core tests `new`-table addresses every
+    /// 2 minutes). Returns `None` if a dial is in flight or the table is
+    /// empty.
+    pub fn begin_feeler_attempt(&mut self, now: SimTime) -> Option<NetAddr> {
+        if self.in_flight_attempt.is_some() {
+            return None;
+        }
+        let target = self.addrman.select(&mut self.rng, unix_time(now))?;
+        if target == self.addr || self.peer_addrs.values().any(|a| *a == target) {
+            return None;
+        }
+        self.addrman.attempt(&target, unix_time(now));
+        self.in_flight_attempt = Some((target, Direction::Feeler));
+        self.stats.feeler_attempts += 1;
+        Some(target)
+    }
+
+    /// The world reports a failed dial (timeout or refusal).
+    pub fn on_attempt_failed(&mut self, addr: NetAddr, _now: SimTime) {
+        if self
+            .in_flight_attempt
+            .as_ref()
+            .is_some_and(|(a, _)| *a == addr)
+        {
+            self.in_flight_attempt = None;
+        }
+    }
+
+    /// The world reports a completed TCP connection. For dials this
+    /// consumes the in-flight attempt; for inbound connections `dir` is
+    /// [`Direction::Inbound`].
+    pub fn on_connected(&mut self, peer: NodeId, addr: NetAddr, dir: Direction, now: SimTime) {
+        if dir != Direction::Inbound {
+            self.in_flight_attempt = None;
+        }
+        let mut p = Peer::new(peer, dir);
+        if dir != Direction::Inbound {
+            // The initiator speaks first.
+            p.send_q.push_back(self.version_msg(addr, now));
+            p.handshake = Handshake::AwaitVersion;
+        }
+        self.peers.insert(peer, p);
+        self.peer_addrs.insert(peer, addr);
+        self.peer_order.push(peer);
+    }
+
+    /// The world reports a dropped connection.
+    pub fn on_disconnected(&mut self, peer: NodeId) {
+        self.peers.remove(&peer);
+        self.peer_addrs.remove(&peer);
+        self.peer_order.retain(|p| *p != peer);
+        self.getaddr_answered.retain(|p| *p != peer);
+    }
+
+    fn version_msg(&mut self, remote: NetAddr, now: SimTime) -> Message {
+        Message::Version(VersionMsg {
+            version: PROTOCOL_VERSION,
+            services: NODE_NETWORK,
+            timestamp: unix_time(now),
+            addr_recv: remote,
+            addr_from: self.addr,
+            nonce: self.rng.next_u64(),
+            user_agent: "/bitsync:0.1.0/".into(),
+            start_height: self.chain.height() as i32,
+            relay: true,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound message delivery (world → vProcessMsg)
+    // ------------------------------------------------------------------
+
+    /// Delivers a message into the peer's `vProcessMsg` queue. Returns
+    /// `false` if the peer is unknown (racing a disconnect).
+    pub fn deliver(&mut self, from: NodeId, msg: Message) -> bool {
+        match self.peers.get_mut(&from) {
+            Some(p) => {
+                p.proc_q.push_back(msg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records message receipt time for the keepalive logic. Called by the
+    /// world alongside [`Node::deliver`].
+    pub fn note_recv(&mut self, from: NodeId, now: SimTime) {
+        if let Some(p) = self.peers.get_mut(&from) {
+            p.last_recv = now;
+        }
+    }
+
+    /// Keepalive sweep: queue a `PING` for quiet ready peers and request
+    /// disconnection of peers silent beyond the timeout (Core's
+    /// `TIMEOUT_INTERVAL`). Runs once per pump round.
+    fn keepalive(&mut self, now: SimTime, requests: &mut Vec<NodeRequest>) {
+        let ping_interval = self.cfg.ping_interval;
+        let timeout = self.cfg.peer_timeout;
+        let mut pings = Vec::new();
+        for (id, p) in self.peers.iter_mut() {
+            if !p.is_ready() {
+                continue;
+            }
+            if p.last_recv != SimTime::ZERO && now.saturating_since(p.last_recv) > timeout {
+                requests.push(NodeRequest::Disconnect(*id));
+                continue;
+            }
+            if now >= p.next_ping_at {
+                p.next_ping_at = now + ping_interval;
+                pings.push(*id);
+            }
+        }
+        for id in pings {
+            let nonce = self.rng.next_u64();
+            self.send(id, Message::Ping(nonce));
+        }
+    }
+
+    /// Whether any queue holds work for the pump.
+    pub fn has_pending_work(&self) -> bool {
+        self.peers.values().any(|p| p.queued() > 0)
+    }
+
+    // ------------------------------------------------------------------
+    // The round-robin pump (Figure 9 / Algorithm 3)
+    // ------------------------------------------------------------------
+
+    /// Runs one pump round: processes one inbound message per peer, then
+    /// flushes one outbound message per peer through the serialized socket
+    /// writer. Returns the flushed messages (with transmission windows) and
+    /// any world requests.
+    pub fn pump(&mut self, now: SimTime) -> (Vec<Outgoing>, Vec<NodeRequest>) {
+        let mut requests = Vec::new();
+        self.flush_trickle(now);
+        self.keepalive(now, &mut requests);
+        let order = self.round_robin_order();
+
+        // ThreadMessageHandler: one message per peer per round.
+        for peer_id in &order {
+            let Some(peer) = self.peers.get_mut(peer_id) else {
+                continue;
+            };
+            let Some(msg) = peer.proc_q.pop_front() else {
+                continue;
+            };
+            self.stats.msgs_processed += 1;
+            self.handle_message(*peer_id, msg, now, &mut requests);
+        }
+
+        // SocketHandler: one send per peer per round, serialized on the
+        // shared upload link.
+        let mut outgoing = Vec::new();
+        for peer_id in &order {
+            let Some(peer) = self.peers.get_mut(peer_id) else {
+                continue;
+            };
+            let Some(msg) = peer.send_q.pop_front() else {
+                continue;
+            };
+            let bytes = msg.wire_size();
+            let start = if self.socket_free_at > now {
+                self.socket_free_at
+            } else {
+                now
+            };
+            let tx_time =
+                SimDuration::from_secs_f64(bytes as f64 / self.cfg.upload_bandwidth);
+            let end = start + tx_time;
+            self.socket_free_at = end;
+            self.stats.msgs_sent += 1;
+            outgoing.push(Outgoing {
+                to: *peer_id,
+                msg,
+                send_start: start,
+                send_end: end,
+            });
+        }
+        (outgoing, requests)
+    }
+
+    /// The round-robin visit order: connection order, with outbound peers
+    /// first when the §V `outbound_first` refinement is on.
+    fn round_robin_order(&self) -> Vec<NodeId> {
+        let mut order = self.peer_order.clone();
+        if self.cfg.relay.outbound_first {
+            order.sort_by_key(|id| {
+                match self.peers.get(id).map(|p| p.dir) {
+                    Some(Direction::Outbound) => 0u8,
+                    Some(Direction::Feeler) => 1,
+                    Some(Direction::Inbound) => 2,
+                    None => 3,
+                }
+            });
+        }
+        order
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol logic (ProcessMessage)
+    // ------------------------------------------------------------------
+
+    fn handle_message(
+        &mut self,
+        from: NodeId,
+        msg: Message,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) {
+        match msg {
+            Message::Version(v) => self.on_version(from, v, now),
+            Message::Verack => self.on_verack(from, now, requests),
+            Message::GetAddr => self.on_getaddr(from, now),
+            Message::Addr(list) => self.on_addr(from, list, now),
+            Message::SendAddrV2 => {
+                // BIP 155 negotiation acknowledged; the simulated network
+                // gossips legacy entries, so no state change is needed.
+            }
+            Message::AddrV2(list) => {
+                // Accept the legacy-expressible subset; Tor/I2P/CJDNS
+                // addresses have no dialable counterpart in the simulation.
+                let legacy: Vec<TimestampedAddr> = list
+                    .iter()
+                    .filter_map(|e| e.to_legacy().map(|a| TimestampedAddr::new(e.time, a)))
+                    .collect();
+                self.on_addr(from, legacy, now);
+            }
+            Message::Ping(n) => self.send(from, Message::Pong(n)),
+            Message::Pong(_) => {}
+            Message::Inv(items) => self.on_inv(from, items),
+            Message::GetData(items) => self.on_getdata(from, items),
+            Message::NotFound(_) => {}
+            Message::Tx(tx) => self.on_tx(from, tx, now),
+            Message::Block(b) => self.on_block(from, *b, now),
+            Message::GetHeaders(g) => self.on_getheaders(from, g),
+            Message::Headers(headers) => self.on_headers(from, headers),
+            Message::SendCmpct(s) => {
+                if let Some(p) = self.peers.get_mut(&from) {
+                    p.prefers_compact = s.announce && s.version == 1;
+                }
+            }
+            Message::CmpctBlock(cb) => self.on_cmpctblock(from, *cb, now),
+            Message::GetBlockTxn(req) => self.on_getblocktxn(from, req),
+            Message::BlockTxn(bt) => self.on_blocktxn(from, bt, now),
+        }
+    }
+
+    fn send(&mut self, to: NodeId, msg: Message) {
+        let prioritize = self.cfg.relay.prioritize_blocks;
+        if let Some(p) = self.peers.get_mut(&to) {
+            p.enqueue_send(msg, prioritize);
+        }
+    }
+
+    fn on_version(&mut self, from: NodeId, v: VersionMsg, now: SimTime) {
+        let inbound = self
+            .peers
+            .get(&from)
+            .map(|p| p.dir == Direction::Inbound)
+            .unwrap_or(false);
+        // Learn the peer's self-reported address.
+        if inbound {
+            let reply = self.version_msg(v.addr_from, now);
+            self.send(from, reply);
+        }
+        self.send(from, Message::Verack);
+        if let Some(p) = self.peers.get_mut(&from) {
+            p.handshake = Handshake::AwaitVerack;
+        }
+    }
+
+    fn on_verack(&mut self, from: NodeId, now: SimTime, requests: &mut Vec<NodeRequest>) {
+        let Some(p) = self.peers.get_mut(&from) else {
+            return;
+        };
+        if p.handshake == Handshake::Ready {
+            return;
+        }
+        p.handshake = Handshake::Ready;
+        let dir = p.dir;
+        let peer_addr = self.peer_addrs.get(&from).copied();
+        match dir {
+            Direction::Feeler => {
+                // The feeler verified reachability; record and hang up.
+                if let Some(a) = peer_addr {
+                    self.addrman.good(&a, unix_time(now));
+                }
+                requests.push(NodeRequest::Disconnect(from));
+            }
+            Direction::Outbound => {
+                if let Some(a) = peer_addr {
+                    self.addrman.good(&a, unix_time(now));
+                    self.stats.successes += 1;
+                }
+                self.post_handshake(from, now);
+            }
+            Direction::Inbound => {
+                self.post_handshake(from, now);
+            }
+        }
+    }
+
+    /// Post-handshake negotiation: compact blocks, address solicitation,
+    /// self-advertisement, and header sync.
+    fn post_handshake(&mut self, from: NodeId, now: SimTime) {
+        if self.cfg.compact_blocks {
+            self.send(
+                from,
+                Message::SendCmpct(SendCmpct {
+                    announce: true,
+                    version: 1,
+                }),
+            );
+        }
+        let dir = self.peers.get(&from).map(|p| p.dir);
+        if dir == Some(Direction::Outbound) {
+            self.send(from, Message::GetAddr);
+            // Advertise our own address (Core advertises its local address
+            // to outbound peers) — this is how unreachable nodes' addresses
+            // enter the gossip mesh. Flooders never reveal their own
+            // (reachable) address: that is the tell the paper's detection
+            // heuristic exploits.
+            if self.flooder.is_none() {
+                let self_ad = TimestampedAddr::new(unix_time(now).max(0) as u32, self.addr);
+                self.send(from, Message::Addr(vec![self_ad]));
+            }
+            let locator = self.chain.locator();
+            self.send(
+                from,
+                Message::GetHeaders(GetHeaders {
+                    locator,
+                    stop: Hash256::ZERO,
+                }),
+            );
+        }
+    }
+
+    fn on_getaddr(&mut self, from: NodeId, now: SimTime) {
+        if let Some(flooder) = self.flooder.as_mut() {
+            // Malicious: answer every GETADDR with fabricated unreachable
+            // addresses and never include the (reachable) self address.
+            let batch = flooder.next_batch(unix_time(now));
+            self.send(from, Message::Addr(batch));
+            return;
+        }
+        if self.getaddr_answered.contains(&from) {
+            return; // Core answers GETADDR once per connection
+        }
+        self.getaddr_answered.push(from);
+        // With the 0.21-style cache enabled, every requester within the
+        // window sees the same sample — iterative crawling (the paper's
+        // Algorithm 1) can no longer page through the whole table.
+        let mut list = match (&self.getaddr_cached, self.cfg.getaddr_cache) {
+            (Some((cached, until)), Some(_)) if now < *until => cached.clone(),
+            (_, Some(ttl)) => {
+                let fresh = self.addrman.get_addr(&mut self.rng, unix_time(now));
+                self.getaddr_cached = Some((fresh.clone(), now + ttl));
+                fresh
+            }
+            _ => self.addrman.get_addr(&mut self.rng, unix_time(now)),
+        };
+        // A node always includes its own address.
+        list.push(TimestampedAddr::new(
+            unix_time(now).max(0) as u32,
+            self.addr,
+        ));
+        self.send(from, Message::Addr(list));
+    }
+
+    fn on_addr(&mut self, from: NodeId, list: Vec<TimestampedAddr>, now: SimTime) {
+        self.stats.addr_msgs_received += 1;
+        self.stats.addrs_received += list.len() as u64;
+        let source = self.peer_addrs.get(&from).copied().unwrap_or(self.addr);
+        let mut fresh = Vec::new();
+        for entry in &list {
+            if entry.addr != self.addr && self.addrman.add(entry.addr, source, unix_time(now)) {
+                fresh.push(*entry);
+            }
+        }
+        // Core forwards small unsolicited ADDR messages to a couple peers.
+        // Forward only first-seen entries: each node relays a given
+        // address at most once, which bounds gossip amplification.
+        // Flooders forward nothing honest.
+        let list = fresh;
+        if self.flooder.is_none() && !list.is_empty() && list.len() <= 10 {
+            let candidates: Vec<NodeId> = self
+                .peers
+                .iter()
+                .filter(|(id, p)| **id != from && p.is_ready() && p.dir.relays_data())
+                .map(|(id, _)| *id)
+                .collect();
+            let fanout = self.cfg.addr_relay_fanout.min(candidates.len());
+            let picks = self.rng.sample_indices(candidates.len(), fanout);
+            for i in picks {
+                self.send(candidates[i], Message::Addr(list.clone()));
+            }
+        }
+    }
+
+    fn on_inv(&mut self, from: NodeId, items: Vec<InvVect>) {
+        let mut wanted = Vec::new();
+        for iv in items {
+            if let Some(p) = self.peers.get_mut(&from) {
+                p.mark_known(iv.hash);
+            }
+            match iv.kind {
+                InvType::Tx => {
+                    if !self.mempool.contains(&iv.hash) {
+                        wanted.push(iv);
+                    }
+                }
+                InvType::Block | InvType::CompactBlock => {
+                    if !self.chain.contains(&iv.hash) {
+                        wanted.push(InvVect::block(iv.hash));
+                    }
+                }
+            }
+        }
+        if !wanted.is_empty() {
+            self.send(from, Message::GetData(wanted));
+        }
+    }
+
+    fn on_getdata(&mut self, from: NodeId, items: Vec<InvVect>) {
+        let mut missing = Vec::new();
+        for iv in items {
+            match iv.kind {
+                InvType::Tx => match self.mempool.get(&iv.hash).cloned() {
+                    Some(tx) => self.send(from, Message::Tx(tx)),
+                    None => missing.push(iv),
+                },
+                InvType::Block => match self.chain.block(&iv.hash).cloned() {
+                    Some(b) => self.send(from, Message::Block(Box::new(b))),
+                    None => missing.push(iv),
+                },
+                InvType::CompactBlock => match self.chain.block(&iv.hash).cloned() {
+                    Some(b) => {
+                        let nonce = self.rng.next_u64();
+                        self.send(
+                            from,
+                            Message::CmpctBlock(Box::new(CompactBlock::from_block(&b, nonce))),
+                        );
+                    }
+                    None => missing.push(iv),
+                },
+            }
+        }
+        if !missing.is_empty() {
+            self.send(from, Message::NotFound(missing));
+        }
+    }
+
+    fn on_tx(&mut self, from: NodeId, tx: Transaction, now: SimTime) {
+        let txid = tx.txid();
+        if let Some(p) = self.peers.get_mut(&from) {
+            p.mark_known(txid);
+        }
+        self.accept_tx(tx, now);
+    }
+
+    /// Accepts a transaction (from the network or injected locally) and
+    /// relays it to peers that do not know it yet. Returns `true` if new.
+    pub fn accept_tx(&mut self, tx: Transaction, _now: SimTime) -> bool {
+        let txid = tx.txid();
+        if self.mempool.contains(&txid) {
+            return false;
+        }
+        self.mempool.insert(tx.clone());
+        self.stats.txs_accepted += 1;
+        self.relay_tx(&tx);
+        true
+    }
+
+    fn relay_tx(&mut self, tx: &Transaction) {
+        let txid = tx.txid();
+        let targets: Vec<NodeId> = self
+            .round_robin_order()
+            .into_iter()
+            .filter(|id| {
+                self.peers
+                    .get(id)
+                    .is_some_and(|p| p.is_ready() && p.dir.relays_data() && !p.knows(&txid))
+            })
+            .collect();
+        match self.cfg.tx_announce {
+            TxAnnounce::Flood => {
+                for id in targets {
+                    if let Some(p) = self.peers.get_mut(&id) {
+                        p.mark_known(txid);
+                    }
+                    self.send(id, Message::Tx(tx.clone()));
+                }
+            }
+            TxAnnounce::Trickle => {
+                for id in targets {
+                    if let Some(p) = self.peers.get_mut(&id) {
+                        p.pending_inv.push(txid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes due trickled `INV` batches (Core's Poisson announcement
+    /// schedule). Called once per pump round.
+    fn flush_trickle(&mut self, now: SimTime) {
+        if self.cfg.tx_announce != TxAnnounce::Trickle {
+            return;
+        }
+        let order = self.round_robin_order();
+        for id in order {
+            let Some(p) = self.peers.get_mut(&id) else {
+                continue;
+            };
+            if p.pending_inv.is_empty() || now < p.next_inv_at || !p.is_ready() {
+                continue;
+            }
+            let batch: Vec<InvVect> = p
+                .pending_inv
+                .drain(..)
+                .filter(|h| !p.known_invs.contains(h))
+                .take(1000)
+                .map(InvVect::tx)
+                .collect();
+            let mean = match p.dir {
+                Direction::Outbound | Direction::Feeler => self.cfg.inv_interval_outbound,
+                Direction::Inbound => self.cfg.inv_interval_inbound,
+            };
+            let delay = self.rng.exp_duration(mean);
+            if let Some(p) = self.peers.get_mut(&id) {
+                for iv in &batch {
+                    p.mark_known(iv.hash);
+                }
+                p.next_inv_at = now + delay;
+            }
+            if !batch.is_empty() {
+                self.send(id, Message::Inv(batch));
+            }
+        }
+    }
+
+    fn on_block(&mut self, from: NodeId, block: Block, now: SimTime) {
+        let hash = block.block_hash();
+        if let Some(p) = self.peers.get_mut(&from) {
+            p.mark_known(hash);
+        }
+        self.accept_block(block, Some(from), now);
+    }
+
+    /// Accepts a block (from the network or mined locally), connects any
+    /// orphans it unblocks, and relays it. Returns `true` if it extended
+    /// our view.
+    #[allow(clippy::only_used_in_recursion)]
+    pub fn accept_block(&mut self, block: Block, from: Option<NodeId>, now: SimTime) -> bool {
+        let hash = block.block_hash();
+        if self.chain.has_body(&hash) {
+            return false;
+        }
+        if !self.chain.contains(&block.header.prev_blockhash) {
+            // Orphan: stash it and ask the sender for the missing history.
+            self.orphans.insert(block.header.prev_blockhash, block);
+            if let Some(peer) = from {
+                let locator = self.chain.locator();
+                self.send(
+                    peer,
+                    Message::GetHeaders(GetHeaders {
+                        locator,
+                        stop: Hash256::ZERO,
+                    }),
+                );
+            }
+            return false;
+        }
+        if self.chain.connect_block(&block).is_err() {
+            return false;
+        }
+        self.stats.blocks_accepted += 1;
+        self.mempool.remove_confirmed(&block.txids());
+        self.relay_block(&hash);
+        // Connect any orphan waiting on this block.
+        if let Some(orphan) = self.orphans.remove(&hash) {
+            self.accept_block(orphan, from, now);
+        }
+        true
+    }
+
+    fn relay_block(&mut self, hash: &Hash256) {
+        let Some(block) = self.chain.block(hash).cloned() else {
+            return;
+        };
+        let targets: Vec<(NodeId, bool)> = self
+            .round_robin_order()
+            .into_iter()
+            .filter_map(|id| {
+                let p = self.peers.get(&id)?;
+                if p.is_ready() && p.dir.relays_data() && !p.knows(hash) {
+                    Some((id, p.prefers_compact && self.cfg.compact_blocks))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (id, compact) in targets {
+            if let Some(p) = self.peers.get_mut(&id) {
+                p.mark_known(*hash);
+            }
+            let msg = if compact {
+                let nonce = self.rng.next_u64();
+                Message::CmpctBlock(Box::new(CompactBlock::from_block(&block, nonce)))
+            } else {
+                Message::Block(Box::new(block.clone()))
+            };
+            self.send(id, msg);
+        }
+    }
+
+    fn on_getheaders(&mut self, from: NodeId, g: GetHeaders) {
+        let headers = self.chain.headers_after(&g.locator, 2000);
+        if !headers.is_empty() {
+            self.send(from, Message::Headers(headers));
+        }
+    }
+
+    fn on_headers(&mut self, from: NodeId, headers: Vec<bitsync_protocol::block::BlockHeader>) {
+        let mut want: Vec<InvVect> = Vec::new();
+        for h in &headers {
+            let hash = h.block_hash();
+            let _ = self.chain.connect_header(h);
+            if self.chain.contains(&hash) && !self.chain.has_body(&hash) {
+                want.push(InvVect::block(hash));
+            }
+        }
+        if !want.is_empty() {
+            // Fetch bodies in batches of 16 (Core: MAX_BLOCKS_IN_TRANSIT).
+            for chunk in want.chunks(16) {
+                self.send(from, Message::GetData(chunk.to_vec()));
+            }
+        }
+    }
+
+    fn on_cmpctblock(&mut self, from: NodeId, cb: CompactBlock, now: SimTime) {
+        let hash = cb.block_hash();
+        if let Some(p) = self.peers.get_mut(&from) {
+            p.mark_known(hash);
+        }
+        if self.chain.has_body(&hash) {
+            return;
+        }
+        let keys = cb.keys();
+        let pool = &self.mempool;
+        let index = pool.short_id_index(&keys);
+        match reconstruct(&cb, |sid| {
+            index
+                .get(&sid.to_u64())
+                .and_then(|txid| pool.get(txid))
+                .cloned()
+        }) {
+            Reconstruction::Complete(block) => {
+                self.accept_block(*block, Some(from), now);
+            }
+            Reconstruction::Missing { indexes } => {
+                self.pending_compact
+                    .insert(hash, PendingCompact { cb, from });
+                self.send(
+                    from,
+                    Message::GetBlockTxn(BlockTxnRequest {
+                        block_hash: hash,
+                        indexes,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn on_getblocktxn(&mut self, from: NodeId, req: BlockTxnRequest) {
+        let Some(block) = self.chain.block(&req.block_hash).cloned() else {
+            return;
+        };
+        let txs: Vec<Transaction> = req
+            .indexes
+            .iter()
+            .filter_map(|&i| block.txs.get(i as usize).cloned())
+            .collect();
+        self.send(
+            from,
+            Message::BlockTxn(BlockTxn {
+                block_hash: req.block_hash,
+                txs,
+            }),
+        );
+    }
+
+    fn on_blocktxn(&mut self, _from: NodeId, bt: BlockTxn, now: SimTime) {
+        let Some(pending) = self.pending_compact.remove(&bt.block_hash) else {
+            return;
+        };
+        let keys = pending.cb.keys();
+        let mut extra: VecDeque<Transaction> = bt.txs.into();
+        let pool = &self.mempool;
+        let index = pool.short_id_index(&keys);
+        let result = reconstruct(&pending.cb, |sid| {
+            index
+                .get(&sid.to_u64())
+                .and_then(|txid| pool.get(txid))
+                .cloned()
+                .or_else(|| {
+                    // The requested transactions arrive in missing-index
+                    // order, which matches reconstruction order.
+                    if extra
+                        .front()
+                        .is_some_and(|t| keys.short_id(&t.txid()) == sid)
+                    {
+                        extra.pop_front()
+                    } else {
+                        None
+                    }
+                })
+        });
+        if let Reconstruction::Complete(block) = result {
+            let from = pending.from;
+            self.accept_block(*block, Some(from), now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Local production
+    // ------------------------------------------------------------------
+
+    /// Mines a block locally (used by the world's miner schedule) and
+    /// relays it.
+    pub fn mine_and_relay(
+        &mut self,
+        miner: &mut bitsync_chain::Miner,
+        now: SimTime,
+    ) -> Option<Hash256> {
+        let block = miner.mine(
+            self.chain.tip_hash(),
+            unix_time(now).max(0) as u32,
+            &self.mempool,
+            &mut self.rng,
+        );
+        let hash = block.block_hash();
+        if self.accept_block(block, None, now) {
+            Some(hash)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this node's tip matches `best_height` (the paper's
+    /// synchronization predicate).
+    pub fn is_synchronized(&self, best_height: u64) -> bool {
+        self.chain.is_synced_to(best_height)
+    }
+}

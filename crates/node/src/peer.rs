@@ -1,0 +1,203 @@
+//! Per-connection state: direction, handshake progress, and the two
+//! message queues of the paper's Figure 9 (`vProcessMsg` inbound,
+//! `vSendMessage` outbound).
+
+use bitsync_protocol::hash::Hash256;
+use bitsync_protocol::message::Message;
+use bitsync_sim::time::SimTime;
+use std::collections::{HashSet, VecDeque};
+
+/// A node identifier inside a simulation world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Who initiated the connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// We dialed out: the remote is by definition reachable.
+    Outbound,
+    /// The remote dialed us: it may be reachable or unreachable.
+    Inbound,
+    /// A short-lived test connection for `tried`-table maintenance
+    /// (Core's feeler connections; not used for data relay).
+    Feeler,
+}
+
+impl Direction {
+    /// Whether this connection relays blocks and transactions.
+    pub fn relays_data(self) -> bool {
+        !matches!(self, Direction::Feeler)
+    }
+}
+
+/// Handshake progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Handshake {
+    /// Awaiting the remote `VERSION` (inbound) or our `VERSION` is queued
+    /// (outbound).
+    AwaitVersion,
+    /// `VERSION` exchanged; awaiting `VERACK`.
+    AwaitVerack,
+    /// Fully established.
+    Ready,
+}
+
+/// State for one connected peer.
+#[derive(Clone, Debug)]
+pub struct Peer {
+    /// The remote node.
+    pub node: NodeId,
+    /// Connection direction.
+    pub dir: Direction,
+    /// Handshake progress.
+    pub handshake: Handshake,
+    /// Inbound messages awaiting processing (`vProcessMsg`).
+    pub proc_q: VecDeque<Message>,
+    /// Outbound messages awaiting the socket writer (`vSendMessage`).
+    pub send_q: VecDeque<Message>,
+    /// Whether the peer negotiated BIP 152 compact blocks.
+    pub prefers_compact: bool,
+    /// Inventory the peer is known to have (suppresses re-relay).
+    pub known_invs: HashSet<Hash256>,
+    /// Txids queued for the next trickled `INV` (Core's per-peer
+    /// `vInventoryTxToSend`; only used in `TxAnnounce::Trickle` mode).
+    pub pending_inv: Vec<Hash256>,
+    /// When the next trickled `INV` may be flushed.
+    pub next_inv_at: SimTime,
+    /// Last time any message arrived from this peer.
+    pub last_recv: SimTime,
+    /// When the next keepalive `PING` is due.
+    pub next_ping_at: SimTime,
+}
+
+impl Peer {
+    /// Creates a fresh peer record.
+    pub fn new(node: NodeId, dir: Direction) -> Self {
+        Peer {
+            node,
+            dir,
+            handshake: Handshake::AwaitVersion,
+            proc_q: VecDeque::new(),
+            send_q: VecDeque::new(),
+            prefers_compact: false,
+            known_invs: HashSet::new(),
+            pending_inv: Vec::new(),
+            next_inv_at: SimTime::ZERO,
+            last_recv: SimTime::ZERO,
+            next_ping_at: SimTime::ZERO,
+        }
+    }
+
+    /// Whether the handshake completed.
+    pub fn is_ready(&self) -> bool {
+        self.handshake == Handshake::Ready
+    }
+
+    /// Queues `msg` for sending, honouring the block-priority refinement
+    /// when `prioritize_blocks` is set: block-bearing messages are placed
+    /// before any queued non-block message.
+    pub fn enqueue_send(&mut self, msg: Message, prioritize_blocks: bool) {
+        if prioritize_blocks && msg.is_block_bearing() {
+            // Insert after any already-prioritized block messages at the
+            // front, preserving block ordering.
+            let pos = self
+                .send_q
+                .iter()
+                .position(|m| !m.is_block_bearing())
+                .unwrap_or(self.send_q.len());
+            self.send_q.insert(pos, msg);
+        } else {
+            self.send_q.push_back(msg);
+        }
+    }
+
+    /// Marks an inventory item as known to this peer; returns `true` if it
+    /// was previously unknown.
+    pub fn mark_known(&mut self, hash: Hash256) -> bool {
+        self.known_invs.insert(hash)
+    }
+
+    /// Whether the peer already knows this inventory item.
+    pub fn knows(&self, hash: &Hash256) -> bool {
+        self.known_invs.contains(hash)
+    }
+
+    /// Total queued messages in both queues, plus pending trickle invs.
+    pub fn queued(&self) -> usize {
+        self.proc_q.len() + self.send_q.len() + self.pending_inv.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitsync_protocol::block::Block;
+    use bitsync_protocol::compact::CompactBlock;
+
+    fn block_msg() -> Message {
+        let b = Block::assemble(2, Hash256::ZERO, 0, 0, vec![]);
+        Message::CmpctBlock(Box::new(CompactBlock::from_block(&b, 1)))
+    }
+
+    #[test]
+    fn fifo_without_priority() {
+        let mut p = Peer::new(NodeId(1), Direction::Outbound);
+        p.enqueue_send(Message::GetAddr, false);
+        p.enqueue_send(block_msg(), false);
+        p.enqueue_send(Message::Ping(1), false);
+        assert_eq!(p.send_q.pop_front().unwrap(), Message::GetAddr);
+        assert!(p.send_q.pop_front().unwrap().is_block_bearing());
+        assert_eq!(p.send_q.pop_front().unwrap(), Message::Ping(1));
+    }
+
+    #[test]
+    fn blocks_jump_queue_with_priority() {
+        let mut p = Peer::new(NodeId(1), Direction::Outbound);
+        p.enqueue_send(Message::GetAddr, true);
+        p.enqueue_send(Message::Ping(1), true);
+        p.enqueue_send(block_msg(), true);
+        assert!(p.send_q.pop_front().unwrap().is_block_bearing());
+        assert_eq!(p.send_q.pop_front().unwrap(), Message::GetAddr);
+    }
+
+    #[test]
+    fn priority_preserves_block_order() {
+        let mut p = Peer::new(NodeId(1), Direction::Outbound);
+        p.enqueue_send(Message::GetAddr, true);
+        let b1 = block_msg();
+        let b2 = Message::Block(Box::new(Block::assemble(
+            2,
+            Hash256::hash_of(b"x"),
+            9,
+            9,
+            vec![],
+        )));
+        p.enqueue_send(b1.clone(), true);
+        p.enqueue_send(b2.clone(), true);
+        assert_eq!(p.send_q.pop_front().unwrap(), b1);
+        assert_eq!(p.send_q.pop_front().unwrap(), b2);
+        assert_eq!(p.send_q.pop_front().unwrap(), Message::GetAddr);
+    }
+
+    #[test]
+    fn known_inv_dedup() {
+        let mut p = Peer::new(NodeId(2), Direction::Inbound);
+        let h = Hash256::hash_of(b"tx");
+        assert!(p.mark_known(h));
+        assert!(!p.mark_known(h));
+        assert!(p.knows(&h));
+    }
+
+    #[test]
+    fn feelers_do_not_relay() {
+        assert!(!Direction::Feeler.relays_data());
+        assert!(Direction::Outbound.relays_data());
+        assert!(Direction::Inbound.relays_data());
+    }
+}

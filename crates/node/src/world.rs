@@ -1,0 +1,1118 @@
+//! The event-driven world: owns the node population, delivers messages with
+//! AS-level latency, resolves dials against ground truth, and drives churn,
+//! mining, and transaction workloads.
+//!
+//! The world is the substitution for the live Bitcoin network the paper
+//! measured: every experiment (connection stability, relay delay, sync
+//! scenarios) is a configuration of this struct.
+
+use crate::config::NodeConfig;
+use crate::malicious::{AddrFlooder, FloodScale};
+use crate::node::{unix_time, Node, NodeRequest, Outgoing};
+use crate::peer::{Direction, NodeId};
+use bitsync_chain::{Miner, TxGenerator};
+use bitsync_net::latency::{LatencyConfig, LatencyModel};
+use bitsync_net::churn::{ChurnConfig, ChurnModel, Rejoin};
+use bitsync_protocol::addr::{NetAddr, DEFAULT_PORT};
+use bitsync_protocol::hash::Hash256;
+use bitsync_protocol::message::Message;
+use bitsync_sim::event::EventQueue;
+use bitsync_sim::rng::SimRng;
+use bitsync_sim::time::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// What a dialed (non-instantiated) address does when probed — ground truth
+/// for phantom entries in the gossip mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhantomKind {
+    /// Refuses quickly with a FIN (unreachable but running Bitcoin).
+    Responsive,
+    /// Drops the SYN: the dialer burns the full connect timeout.
+    Silent,
+}
+
+/// World construction parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Per-node behaviour.
+    pub node_cfg: NodeConfig,
+    /// Latency model parameters.
+    pub latency: LatencyConfig,
+    /// Churn process, or `None` for a static network.
+    pub churn: Option<ChurnConfig>,
+    /// Reachable full nodes instantiated at start.
+    pub n_reachable: usize,
+    /// Unreachable (NAT'd) full nodes instantiated at start; they dial out
+    /// but never accept inbound connections.
+    pub n_unreachable_full: usize,
+    /// Phantom unreachable addresses circulating in gossip (not
+    /// instantiated; dials to them fail).
+    pub n_phantoms: usize,
+    /// Fraction of phantoms that are [`PhantomKind::Responsive`].
+    pub phantom_responsive_fraction: f64,
+    /// Reachable addresses seeded into each node's addrman ("DNS seeds").
+    pub seed_reachable: usize,
+    /// Phantom addresses seeded into each node's addrman (prior gossip).
+    pub seed_phantoms: usize,
+    /// ADDR-flooding malicious nodes among the reachable set.
+    pub n_malicious: usize,
+    /// Expected block interval, or `None` to disable mining.
+    pub block_interval: Option<SimDuration>,
+    /// Network-wide transaction injection rate per second (0 = none).
+    pub tx_rate: f64,
+    /// Fraction of nodes that negotiate compact blocks.
+    pub compact_fraction: f64,
+    /// Mean initial-block-download time for brand-new arrivals (the paper:
+    /// several days to fetch the chain). `None` disables IBD accounting.
+    pub ibd_fresh_mean: Option<SimDuration>,
+    /// Mean resynchronization time for rejoining nodes (paper: 11 min 14 s
+    /// measured for a restarted node).
+    pub ibd_rejoin_mean: SimDuration,
+    /// Node to instrument for relay logging, by index into the initial
+    /// reachable set.
+    pub instrument: Option<usize>,
+    /// When set, every established connection gets an exponential lifetime
+    /// with this mean (link failures, peer restarts — the drop process
+    /// behind Figure 6's instability). `None` = connections only drop with
+    /// node departures.
+    pub connection_mean_lifetime: Option<SimDuration>,
+    /// Fraction of reachable nodes that never churn (the paper's
+    /// always-online core; only meaningful when `churn` is set).
+    pub permanent_fraction: f64,
+    /// Fraction of nodes that persistently report a stale tip (pruned,
+    /// stuck, or ancient clients in the real network). They participate in
+    /// relay but never count as synchronized — the base unsynchronized
+    /// level visible in Bitnodes data on top of the churn-driven part.
+    pub laggard_fraction: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0,
+            node_cfg: NodeConfig::bitcoin_core(),
+            latency: LatencyConfig::internet_2020(),
+            churn: None,
+            n_reachable: 50,
+            n_unreachable_full: 10,
+            n_phantoms: 1000,
+            phantom_responsive_fraction: 0.277,
+            seed_reachable: 32,
+            seed_phantoms: 200,
+            n_malicious: 0,
+            block_interval: None,
+            tx_rate: 0.0,
+            compact_fraction: 0.7,
+            ibd_fresh_mean: None,
+            ibd_rejoin_mean: SimDuration::from_secs(674), // 11 min 14 s
+            instrument: None,
+            connection_mean_lifetime: None,
+            permanent_fraction: 0.37,
+            laggard_fraction: 0.0,
+        }
+    }
+}
+
+/// Per-node world metadata.
+#[derive(Clone, Debug)]
+pub struct NodeMeta {
+    /// The node's endpoint.
+    pub addr: NetAddr,
+    /// Hosting AS.
+    pub asn: u32,
+    /// Whether the node accepts inbound connections.
+    pub reachable: bool,
+    /// Whether churn may remove it.
+    pub permanent: bool,
+    /// Whether it is an ADDR flooder.
+    pub malicious: bool,
+    /// IBD accounting: the node counts as synchronized only after this.
+    pub ibd_until: SimTime,
+    /// Whether the node is currently online.
+    pub online: bool,
+}
+
+/// Sends later than this after first receipt are initial-block-download
+/// serving (a `GETDATA` answer for an old object), not relay of fresh
+/// inventory, and are excluded from the Figures 10/11 accounting.
+pub const FRESH_RELAY_WINDOW: SimDuration = SimDuration::from_secs(120);
+
+/// One relayed object's timing at the instrumented node (Figures 10/11).
+#[derive(Clone, Copy, Debug)]
+pub struct RelayRecord {
+    /// When the instrumented node first received (or produced) the object.
+    pub received: SimTime,
+    /// When the last send of the object finished on the socket.
+    pub last_sent: Option<SimTime>,
+    /// Number of peers it was sent to.
+    pub sends: u32,
+    /// Block (`true`) or transaction (`false`).
+    pub is_block: bool,
+}
+
+impl RelayRecord {
+    /// The relay delay in whole seconds, quantized the way the paper read
+    /// `debug.log` (1-second granularity).
+    pub fn delay_secs(&self) -> Option<u64> {
+        self.last_sent
+            .map(|s| s.quantize_secs().saturating_since(self.received.quantize_secs()).as_secs())
+    }
+}
+
+/// Per-sender ADDR statistics, ground-truth classified (the §IV-B census
+/// and the Figure 8 malicious-peer detection input).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AddrSenderStats {
+    /// Total ADDR entries this node sent.
+    pub total: u64,
+    /// Entries whose address belongs to the reachable ground-truth set.
+    pub reachable: u64,
+}
+
+/// World events.
+#[derive(Clone, Debug)]
+enum Ev {
+    /// Run one pump round at a node.
+    Pump(NodeId),
+    /// Outbound-connection maintenance tick.
+    ConnectTick(NodeId),
+    /// Feeler-connection timer.
+    Feeler(NodeId),
+    /// A dial resolved.
+    DialResult {
+        initiator: NodeId,
+        target: NetAddr,
+        dir: Direction,
+        ok: bool,
+    },
+    /// Message arrival.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+    },
+    /// Mine a block at a random synced node.
+    Mine,
+    /// Inject a transaction at a random node.
+    InjectTx,
+    /// A node leaves the network.
+    Depart(NodeId),
+    /// A brand-new node joins.
+    Arrive,
+    /// A departed node comes back.
+    RejoinNode(NodeId),
+    /// A link failure drops an established connection.
+    DropConn(NodeId, NodeId),
+}
+
+/// A churn event recorded for analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Node went offline. The flag reports whether it was synchronized at
+    /// departure (the §IV-D metric).
+    Departed {
+        /// Which node.
+        node: NodeId,
+        /// Whether its chain was at the best height and out of IBD.
+        synchronized: bool,
+    },
+    /// Node came online (fresh arrival or rejoin).
+    Joined {
+        /// Which node.
+        node: NodeId,
+        /// Whether this was a rejoin of a previously seen address.
+        rejoin: bool,
+    },
+}
+
+/// The simulation world.
+pub struct World {
+    /// Configuration it was built from.
+    pub cfg: WorldConfig,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    latency: LatencyModel,
+    churn: Option<ChurnModel>,
+    /// Node slots; `None` while offline.
+    nodes: Vec<Option<Node>>,
+    /// Static metadata per node id.
+    pub meta: Vec<NodeMeta>,
+    addr_index: HashMap<NetAddr, NodeId>,
+    /// Phantom gossip addresses and their dial behaviour.
+    phantoms: HashMap<NetAddr, (PhantomKind, u32)>,
+    phantom_list: Vec<NetAddr>,
+    /// Ground-truth set of reachable addresses (for the ADDR census).
+    reachable_addrs: HashSet<NetAddr>,
+    /// Same addresses as an ordered list (deterministic sampling).
+    reachable_addr_list: Vec<NetAddr>,
+    /// Whether a pump event is already scheduled per node.
+    pump_scheduled: Vec<bool>,
+    connect_scheduled: Vec<bool>,
+    miner: Miner,
+    txgen: TxGenerator,
+    best_height: u64,
+    /// Relay log of the instrumented node.
+    pub relay_log: HashMap<Hash256, RelayRecord>,
+    instrumented: Option<NodeId>,
+    /// ADDR census per sender.
+    pub addr_senders: HashMap<NodeId, AddrSenderStats>,
+    /// Churn history.
+    pub churn_events: Vec<(SimTime, ChurnEvent)>,
+    /// Stashed address managers of departed nodes: a rejoining node keeps
+    /// its `peers.dat`, exactly as Bitcoin Core does across restarts.
+    stashed_addrman: HashMap<NodeId, bitsync_addrman::AddrMan>,
+    /// When set, a BGP-hijack partition is active: the listed ASes are cut
+    /// off — messages and dials crossing the boundary fail (§IV-A1).
+    hijacked_asns: Option<HashSet<u32>>,
+    /// Used IPs, to keep generated arrival addresses unique.
+    used_ips: HashSet<u32>,
+    as_model: bitsync_net::AsModel,
+}
+
+impl World {
+    /// Builds and boots a world: generates the population, seeds address
+    /// books, and schedules the initial timers.
+    pub fn new(cfg: WorldConfig) -> Self {
+        let mut rng = SimRng::seed_from(cfg.seed);
+        let mut pop_rng = rng.fork("population");
+        let latency = LatencyModel::new(cfg.latency, rng.fork("latency").next_u64());
+        let churn = cfg.churn.map(ChurnModel::new);
+        let as_model = bitsync_net::AsModel::from_paper();
+
+        let mut world = World {
+            queue: EventQueue::new(),
+            rng: rng.fork("world"),
+            latency,
+            churn,
+            nodes: Vec::new(),
+            meta: Vec::new(),
+            addr_index: HashMap::new(),
+            phantoms: HashMap::new(),
+            phantom_list: Vec::new(),
+            reachable_addrs: HashSet::new(),
+            reachable_addr_list: Vec::new(),
+            pump_scheduled: Vec::new(),
+            connect_scheduled: Vec::new(),
+            miner: Miner::new(cfg.seed ^ 0xb10c, 10_000),
+            txgen: TxGenerator::new(cfg.seed ^ 0x7c5),
+            best_height: 0,
+            relay_log: HashMap::new(),
+            instrumented: None,
+            addr_senders: HashMap::new(),
+            churn_events: Vec::new(),
+            stashed_addrman: HashMap::new(),
+            hijacked_asns: None,
+            used_ips: HashSet::new(),
+            as_model,
+            cfg,
+        };
+
+        // Phantom gossip addresses.
+        for _ in 0..world.cfg.n_phantoms {
+            let addr = world.fresh_address(&mut pop_rng);
+            let kind = if pop_rng.chance(world.cfg.phantom_responsive_fraction) {
+                PhantomKind::Responsive
+            } else {
+                PhantomKind::Silent
+            };
+            let class = match kind {
+                PhantomKind::Responsive => bitsync_net::NodeClass::UnreachableResponsive,
+                PhantomKind::Silent => bitsync_net::NodeClass::UnreachableSilent,
+            };
+            let asn = world.as_model.sample(class, &mut pop_rng);
+            world.phantoms.insert(addr, (kind, asn));
+            world.phantom_list.push(addr);
+        }
+
+        // Reachable nodes (some malicious), then unreachable full nodes.
+        let n_reach = world.cfg.n_reachable;
+        let n_unreach = world.cfg.n_unreachable_full;
+        for i in 0..n_reach + n_unreach {
+            let reachable = i < n_reach;
+            let malicious = reachable && i >= n_reach.saturating_sub(world.cfg.n_malicious);
+            world.spawn_node(reachable, malicious, &mut pop_rng);
+        }
+        if let Some(idx) = world.cfg.instrument {
+            world.instrumented = Some(NodeId(idx as u32));
+        }
+
+        // Seed address books and initial timers.
+        for id in 0..world.nodes.len() {
+            world.seed_addrman(NodeId(id as u32), &mut pop_rng);
+            world.boot_node(NodeId(id as u32), SimTime::ZERO, &mut pop_rng);
+        }
+
+        // Global processes.
+        if world.cfg.block_interval.is_some() {
+            world.schedule_mine(SimTime::ZERO);
+        }
+        if world.cfg.tx_rate > 0.0 {
+            world.schedule_tx(SimTime::ZERO);
+        }
+        world
+    }
+
+    fn fresh_address(&mut self, rng: &mut SimRng) -> NetAddr {
+        let ip = loop {
+            let candidate = rng.below(0xdfff_ffff) as u32 + 0x0100_0000;
+            let first = (candidate >> 24) as u8;
+            if first == 10 || first == 127 || first >= 224 {
+                continue;
+            }
+            if self.used_ips.insert(candidate) {
+                break candidate;
+            }
+        };
+        let port = if rng.chance(0.95) {
+            DEFAULT_PORT
+        } else {
+            1024 + rng.below(60_000) as u16
+        };
+        NetAddr::from_ipv4(Ipv4Addr::from(ip), port)
+    }
+
+    fn spawn_node(&mut self, reachable: bool, malicious: bool, rng: &mut SimRng) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let addr = self.fresh_address(rng);
+        let class = if reachable {
+            bitsync_net::NodeClass::Reachable
+        } else {
+            bitsync_net::NodeClass::UnreachableResponsive
+        };
+        let asn = self.as_model.sample(class, rng);
+        let permanent =
+            self.churn.is_none() || (reachable && rng.chance(self.cfg.permanent_fraction));
+        let mut node = Node::new(id, addr, reachable, self.cfg.node_cfg.clone(), rng.next_u64());
+        node.cfg.compact_blocks = rng.chance(self.cfg.compact_fraction);
+        if malicious {
+            let size = FloodScale::paper().sample(rng);
+            node.flooder = Some(AddrFlooder::generate(size, rng));
+        }
+        self.nodes.push(Some(node));
+        let laggard = rng.chance(self.cfg.laggard_fraction);
+        self.meta.push(NodeMeta {
+            addr,
+            asn,
+            reachable,
+            permanent,
+            malicious,
+            ibd_until: if laggard { SimTime::MAX } else { SimTime::ZERO },
+            online: true,
+        });
+        self.addr_index.insert(addr, id);
+        if reachable {
+            self.reachable_addrs.insert(addr);
+            self.reachable_addr_list.push(addr);
+        }
+        self.pump_scheduled.push(false);
+        self.connect_scheduled.push(false);
+        id
+    }
+
+    fn seed_addrman(&mut self, id: NodeId, rng: &mut SimRng) {
+        self.seed_addrman_with(id, rng, true);
+    }
+
+    fn seed_addrman_with(&mut self, id: NodeId, rng: &mut SimRng, with_phantoms: bool) {
+        let now_unix = unix_time(SimTime::ZERO);
+        let self_addr = self.meta[id.0 as usize].addr;
+        // DNS-seeded reachable addresses.
+        let reach: Vec<NetAddr> = self.reachable_addr_list.clone();
+        let picks = rng.sample_indices(reach.len(), self.cfg.seed_reachable.min(reach.len()));
+        let source = self_addr;
+        let node = self.nodes[id.0 as usize].as_mut().expect("node online");
+        for i in picks {
+            if reach[i] != self_addr {
+                node.addrman.add(reach[i], source, now_unix);
+            }
+        }
+        // Prior-gossip phantoms (initial population only; fresh arrivals
+        // bootstrap from DNS seeders, which return reachable addresses, and
+        // pick up pollution through ADDR gossip afterwards).
+        if with_phantoms {
+            let picks = rng.sample_indices(
+                self.phantom_list.len(),
+                self.cfg.seed_phantoms.min(self.phantom_list.len()),
+            );
+            for i in picks {
+                node.addrman.add(self.phantom_list[i], source, now_unix);
+            }
+        }
+    }
+
+    /// Schedules initial timers for a (re)booted node.
+    fn boot_node(&mut self, id: NodeId, now: SimTime, rng: &mut SimRng) {
+        let jitter = SimDuration::from_millis(rng.below(1_000));
+        self.queue.schedule(now + jitter, Ev::ConnectTick(id));
+        self.connect_scheduled[id.0 as usize] = true;
+        let feeler_offset = SimDuration::from_millis(rng.below(120_000));
+        self.queue.schedule(now + feeler_offset, Ev::Feeler(id));
+        // Churn: plan the departure.
+        if let Some(churn) = &self.churn {
+            let permanent = self.meta[id.0 as usize].permanent;
+            let mut crng = rng.fork("lifetime");
+            if let Some(life) = churn.session_lifetime(permanent, &mut crng) {
+                self.queue.schedule(now + life, Ev::Depart(id));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors for experiments
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    /// Shared access to a node (if online).
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0 as usize).and_then(|n| n.as_ref())
+    }
+
+    /// Mutable access to a node (if online).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(id.0 as usize).and_then(|n| n.as_mut())
+    }
+
+    /// Ids of all currently online nodes.
+    pub fn online_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|id| self.nodes[id.0 as usize].is_some())
+            .collect()
+    }
+
+    /// The height of the best chain anywhere in the world.
+    pub fn best_height(&self) -> u64 {
+        self.best_height
+    }
+
+    /// Whether a node counts as synchronized: online, past IBD, and at the
+    /// best height (the paper's metric).
+    pub fn is_synchronized(&self, id: NodeId) -> bool {
+        let Some(node) = self.node(id) else {
+            return false;
+        };
+        self.meta[id.0 as usize].ibd_until <= self.now()
+            && node.is_synchronized(self.best_height)
+    }
+
+    /// Fraction of online *reachable* nodes that are synchronized (the
+    /// quantity whose distribution is Figure 1).
+    pub fn sync_fraction(&self) -> f64 {
+        let mut online = 0usize;
+        let mut synced = 0usize;
+        for id in self.online_ids() {
+            if self.meta[id.0 as usize].reachable {
+                online += 1;
+                if self.is_synchronized(id) {
+                    synced += 1;
+                }
+            }
+        }
+        if online == 0 {
+            0.0
+        } else {
+            synced as f64 / online as f64
+        }
+    }
+
+    /// Ground truth: is this address a (past or present) reachable node?
+    pub fn is_reachable_addr(&self, addr: &NetAddr) -> bool {
+        self.reachable_addrs.contains(addr)
+    }
+
+    /// Relay delays recorded at the instrumented node, in quantized seconds:
+    /// `(is_block, delay_secs)` per fully-relayed object.
+    pub fn relay_delays(&self) -> Vec<(bool, u64)> {
+        self.relay_log
+            .values()
+            .filter_map(|r| r.delay_secs().map(|d| (r.is_block, d)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop
+    // ------------------------------------------------------------------
+
+    /// Whether a link between two ASes crosses an active hijack boundary.
+    fn partition_blocks(&self, a: u32, b: u32) -> bool {
+        match &self.hijacked_asns {
+            Some(set) => set.contains(&a) != set.contains(&b),
+            None => false,
+        }
+    }
+
+    /// Applies a BGP-hijack partition: every existing connection crossing
+    /// the boundary between the hijacked ASes and the rest is dropped, and
+    /// while the partition is active no message or dial crosses it. This is
+    /// the §IV-A1 attack model evaluated on the live topology.
+    pub fn apply_partition(&mut self, asns: impl IntoIterator<Item = u32>) {
+        let set: HashSet<u32> = asns.into_iter().collect();
+        self.hijacked_asns = Some(set);
+        // Sever existing cross-boundary connections.
+        let ids = self.online_ids();
+        let mut to_cut: Vec<(NodeId, NodeId)> = Vec::new();
+        for id in ids {
+            let my_asn = self.meta[id.0 as usize].asn;
+            if let Some(node) = self.node(id) {
+                for peer in node.peers.keys() {
+                    let peer_asn = self.meta[peer.0 as usize].asn;
+                    if self.partition_blocks(my_asn, peer_asn) && id < *peer {
+                        to_cut.push((id, *peer));
+                    }
+                }
+            }
+        }
+        for (a, b) in to_cut {
+            self.disconnect_pair(a, b);
+        }
+    }
+
+    /// Lifts an active partition; routing heals immediately.
+    pub fn lift_partition(&mut self) {
+        self.hijacked_asns = None;
+    }
+
+    /// Online reachable nodes inside the hijacked AS set.
+    pub fn isolated_count(&self) -> usize {
+        let Some(set) = &self.hijacked_asns else {
+            return 0;
+        };
+        self.online_ids()
+            .into_iter()
+            .filter(|id| {
+                self.meta[id.0 as usize].reachable && set.contains(&self.meta[id.0 as usize].asn)
+            })
+            .count()
+    }
+
+    /// Runs the world until `deadline`, processing every event due before
+    /// it. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.queue.events_processed();
+        while let Some((now, ev)) = self.queue.pop_until(deadline) {
+            self.dispatch(now, ev);
+        }
+        if self.queue.now() < deadline {
+            self.queue.advance_to(deadline);
+        }
+        self.queue.events_processed() - start
+    }
+
+    /// Runs for `d` beyond the current time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.now() + d;
+        self.run_until(deadline)
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Pump(id) => self.on_pump(id, now),
+            Ev::ConnectTick(id) => self.on_connect_tick(id, now),
+            Ev::Feeler(id) => self.on_feeler(id, now),
+            Ev::DialResult {
+                initiator,
+                target,
+                dir,
+                ok,
+            } => self.on_dial_result(initiator, target, dir, ok, now),
+            Ev::Deliver { from, to, msg } => self.on_deliver(from, to, msg, now),
+            Ev::Mine => self.on_mine(now),
+            Ev::InjectTx => self.on_inject_tx(now),
+            Ev::Depart(id) => self.on_depart(id, now),
+            Ev::Arrive => self.on_arrive(now, false, None),
+            Ev::RejoinNode(id) => self.on_rejoin(id, now),
+            Ev::DropConn(a, b) => {
+                let still = self
+                    .node(a)
+                    .is_some_and(|n| n.peers.contains_key(&b));
+                if still {
+                    self.disconnect_pair(a, b);
+                }
+            }
+        }
+    }
+
+    fn schedule_pump(&mut self, id: NodeId, at: SimTime) {
+        let slot = id.0 as usize;
+        if !self.pump_scheduled[slot] && self.nodes[slot].is_some() {
+            self.pump_scheduled[slot] = true;
+            let at = at.max(self.queue.now());
+            self.queue.schedule(at, Ev::Pump(id));
+        }
+    }
+
+    fn schedule_connect(&mut self, id: NodeId, after: SimDuration) {
+        let slot = id.0 as usize;
+        if !self.connect_scheduled[slot] && self.nodes[slot].is_some() {
+            self.connect_scheduled[slot] = true;
+            self.queue.schedule_after(after, Ev::ConnectTick(id));
+        }
+    }
+
+    fn schedule_mine(&mut self, now: SimTime) {
+        if let Some(interval) = self.cfg.block_interval {
+            let d = self.rng.exp_duration(interval);
+            self.queue.schedule(now + d, Ev::Mine);
+        }
+    }
+
+    fn schedule_tx(&mut self, now: SimTime) {
+        if self.cfg.tx_rate > 0.0 {
+            let mean = SimDuration::from_secs_f64(1.0 / self.cfg.tx_rate);
+            let d = self.rng.exp_duration(mean);
+            self.queue.schedule(now + d, Ev::InjectTx);
+        }
+    }
+
+    fn on_pump(&mut self, id: NodeId, now: SimTime) {
+        let slot = id.0 as usize;
+        self.pump_scheduled[slot] = false;
+        let Some(node) = self.nodes[slot].as_mut() else {
+            return;
+        };
+        let (outgoing, requests) = node.pump(now);
+        let more_work = node.has_pending_work();
+        let from_asn = self.meta[slot].asn;
+        let instrumented = self.instrumented == Some(id);
+
+        for out in outgoing {
+            let Outgoing {
+                to,
+                msg,
+                send_end,
+                ..
+            } = out;
+            // ADDR census.
+            if let Message::Addr(entries) = &msg {
+                let stats = self.addr_senders.entry(id).or_default();
+                stats.total += entries.len() as u64;
+                stats.reachable += entries
+                    .iter()
+                    .filter(|e| self.reachable_addrs.contains(&e.addr))
+                    .count() as u64;
+            }
+            // Relay instrumentation: record send completion per object.
+            if instrumented {
+                let key = match &msg {
+                    Message::Block(b) => Some((b.block_hash(), true)),
+                    Message::CmpctBlock(cb) => Some((cb.block_hash(), true)),
+                    Message::Tx(tx) => Some((tx.txid(), false)),
+                    _ => None,
+                };
+                if let Some((hash, is_block)) = key {
+                    let rec = self.relay_log.entry(hash).or_insert(RelayRecord {
+                        received: now,
+                        last_sent: None,
+                        sends: 0,
+                        is_block,
+                    });
+                    // Serving an old object to a syncing peer is not relay.
+                    if send_end.saturating_since(rec.received) <= FRESH_RELAY_WINDOW {
+                        rec.sends += 1;
+                        rec.last_sent =
+                            Some(rec.last_sent.map_or(send_end, |p| p.max(send_end)));
+                    }
+                }
+            }
+            // Deliver with latency, if the destination is still online and
+            // no active partition severs the route.
+            let to_slot = to.0 as usize;
+            if self.partition_blocks(from_asn, self.meta[to_slot].asn) {
+                continue;
+            }
+            if self.nodes.get(to_slot).is_some_and(|n| n.is_some()) {
+                let to_asn = self.meta[to_slot].asn;
+                let delay =
+                    self.latency
+                        .message_delay(from_asn, to_asn, msg.wire_size(), &mut self.rng);
+                self.queue.schedule(
+                    send_end.max(now) + delay,
+                    Ev::Deliver { from: id, to, msg },
+                );
+            }
+        }
+        for req in requests {
+            match req {
+                NodeRequest::Disconnect(peer) => self.disconnect_pair(id, peer),
+            }
+        }
+        if more_work {
+            let interval = self
+                .nodes[slot]
+                .as_ref()
+                .map(|n| n.cfg.pump_interval)
+                .unwrap_or(SimDuration::from_millis(100));
+            self.pump_scheduled[slot] = true;
+            self.queue.schedule(now + interval, Ev::Pump(id));
+        }
+    }
+
+    fn on_connect_tick(&mut self, id: NodeId, now: SimTime) {
+        let slot = id.0 as usize;
+        self.connect_scheduled[slot] = false;
+        let Some(node) = self.nodes[slot].as_mut() else {
+            return;
+        };
+        let interval = node.cfg.connect_loop_interval;
+        if let Some(target) = node.begin_outbound_attempt(now) {
+            self.resolve_dial(id, target, Direction::Outbound, now);
+        }
+        // Re-tick only when the node is idle with unfilled slots: while a
+        // dial is in flight its DialResult handler reschedules, so polling
+        // would just burn events.
+        let needs_more = self.nodes[slot]
+            .as_ref()
+            .is_some_and(|n| n.wants_outbound());
+        if needs_more {
+            self.connect_scheduled[slot] = true;
+            self.queue.schedule(now + interval, Ev::ConnectTick(id));
+        }
+    }
+
+    fn on_feeler(&mut self, id: NodeId, now: SimTime) {
+        let slot = id.0 as usize;
+        let Some(node) = self.nodes[slot].as_mut() else {
+            return;
+        };
+        let interval = node.cfg.feeler_interval;
+        if let Some(target) = node.begin_feeler_attempt(now) {
+            self.resolve_dial(id, target, Direction::Feeler, now);
+        }
+        self.queue.schedule(now + interval, Ev::Feeler(id));
+    }
+
+    /// Resolves a dial against ground truth and schedules the result.
+    fn resolve_dial(&mut self, initiator: NodeId, target: NetAddr, dir: Direction, now: SimTime) {
+        let from_asn = self.meta[initiator.0 as usize].asn;
+        let (ok, delay) = match self.addr_index.get(&target) {
+            Some(&tid) => {
+                let online_accepting = self
+                    .nodes
+                    .get(tid.0 as usize)
+                    .and_then(|n| n.as_ref())
+                    .is_some_and(|n| n.accepts_inbound());
+                let to_asn = self.meta[tid.0 as usize].asn;
+                if self.partition_blocks(from_asn, to_asn) {
+                    (false, self.latency.connect_timeout())
+                } else if online_accepting {
+                    (true, self.latency.handshake_delay(from_asn, to_asn, &mut self.rng))
+                } else {
+                    // Offline node or full slots: RST/timeout.
+                    (false, self.latency.connect_timeout())
+                }
+            }
+            None => match self.phantoms.get(&target) {
+                Some((PhantomKind::Responsive, asn)) => {
+                    // Fast FIN refusal: one RTT.
+                    let d = self.latency.handshake_delay(from_asn, *asn, &mut self.rng);
+                    (false, d)
+                }
+                _ => (false, self.latency.connect_timeout()),
+            },
+        };
+        self.queue.schedule(
+            now + delay,
+            Ev::DialResult {
+                initiator,
+                target,
+                dir,
+                ok,
+            },
+        );
+    }
+
+    fn on_dial_result(
+        &mut self,
+        initiator: NodeId,
+        target: NetAddr,
+        dir: Direction,
+        ok: bool,
+        now: SimTime,
+    ) {
+        let islot = initiator.0 as usize;
+        if self.nodes[islot].is_none() {
+            return; // initiator departed while dialing
+        }
+        if !ok {
+            if let Some(n) = self.nodes[islot].as_mut() {
+                n.on_attempt_failed(target, now);
+            }
+            self.schedule_connect(initiator, SimDuration::from_millis(1));
+            return;
+        }
+        // Target may have gone offline or filled up during the handshake.
+        let Some(&tid) = self.addr_index.get(&target) else {
+            if let Some(n) = self.nodes[islot].as_mut() {
+                n.on_attempt_failed(target, now);
+            }
+            self.schedule_connect(initiator, SimDuration::from_millis(1));
+            return;
+        };
+        let accepting = self
+            .nodes
+            .get(tid.0 as usize)
+            .and_then(|n| n.as_ref())
+            .is_some_and(|n| n.accepts_inbound());
+        if !accepting || tid == initiator {
+            if let Some(n) = self.nodes[islot].as_mut() {
+                n.on_attempt_failed(target, now);
+            }
+            self.schedule_connect(initiator, SimDuration::from_millis(1));
+            return;
+        }
+        let initiator_addr = self.meta[islot].addr;
+        if let Some(n) = self.nodes[islot].as_mut() {
+            n.on_connected(tid, target, dir, now);
+        }
+        if let Some(n) = self.nodes[tid.0 as usize].as_mut() {
+            n.on_connected(initiator, initiator_addr, Direction::Inbound, now);
+        }
+        self.schedule_pump(initiator, now);
+        if dir != Direction::Feeler {
+            self.schedule_link_failure(initiator, tid, now);
+        }
+        // Keep filling outbound slots.
+        self.schedule_connect(initiator, SimDuration::from_millis(1));
+    }
+
+    /// Schedules the link-failure drop for a new connection, if the world
+    /// models per-connection lifetimes.
+    fn schedule_link_failure(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+        if let Some(mean) = self.cfg.connection_mean_lifetime {
+            let life = self.rng.exp_duration(mean);
+            self.queue.schedule(now + life, Ev::DropConn(a, b));
+        }
+    }
+
+    /// Directly establishes a connection from `a` (outbound side) to `b`,
+    /// bypassing addrman and dialing — used by experiments that need an
+    /// exact topology (e.g. the 8-outbound/17-inbound relay star of
+    /// Figures 10/11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is offline.
+    pub fn force_connect(&mut self, a: NodeId, b: NodeId) {
+        let now = self.now();
+        let b_addr = self.meta[b.0 as usize].addr;
+        let a_addr = self.meta[a.0 as usize].addr;
+        assert!(self.nodes[a.0 as usize].is_some(), "initiator offline");
+        assert!(self.nodes[b.0 as usize].is_some(), "target offline");
+        if let Some(n) = self.nodes[a.0 as usize].as_mut() {
+            n.on_connected(b, b_addr, Direction::Outbound, now);
+        }
+        if let Some(n) = self.nodes[b.0 as usize].as_mut() {
+            n.on_connected(a, a_addr, Direction::Inbound, now);
+        }
+        self.schedule_pump(a, now);
+        self.schedule_link_failure(a, b, now);
+    }
+
+    /// Forces a node offline immediately (used by the resync experiment).
+    pub fn force_depart(&mut self, id: NodeId) {
+        let now = self.now();
+        self.on_depart(id, now);
+    }
+
+    /// Forces a departed node back online immediately.
+    pub fn force_rejoin(&mut self, id: NodeId) {
+        let now = self.now();
+        self.on_rejoin(id, now);
+    }
+
+    fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: Message, now: SimTime) {
+        // Relay instrumentation: first receipt of a block/tx object.
+        if self.instrumented == Some(to) {
+            let key = match &msg {
+                Message::Block(b) => Some((b.block_hash(), true)),
+                Message::CmpctBlock(cb) => Some((cb.block_hash(), true)),
+                Message::Tx(tx) => Some((tx.txid(), false)),
+                _ => None,
+            };
+            if let Some((hash, is_block)) = key {
+                self.relay_log.entry(hash).or_insert(RelayRecord {
+                    received: now,
+                    last_sent: None,
+                    sends: 0,
+                    is_block,
+                });
+            }
+        }
+        let Some(node) = self.nodes.get_mut(to.0 as usize).and_then(|n| n.as_mut()) else {
+            return;
+        };
+        if node.deliver(from, msg) {
+            node.note_recv(from, now);
+            self.schedule_pump(to, now);
+        }
+    }
+
+    fn on_mine(&mut self, now: SimTime) {
+        // Pick a random online synced reachable node as the block producer.
+        let candidates: Vec<NodeId> = self
+            .online_ids()
+            .into_iter()
+            .filter(|id| {
+                self.meta[id.0 as usize].reachable
+                    && self
+                        .node(*id)
+                        .is_some_and(|n| n.chain.height() == self.best_height)
+            })
+            .collect();
+        if let Some(&producer) = self.rng.choose(&candidates) {
+            let mut miner = std::mem::replace(&mut self.miner, Miner::new(0, 1));
+            if let Some(node) = self.node_mut(producer) {
+                if let Some(hash) = node.mine_and_relay(&mut miner, now) {
+                    let height = node.chain.height();
+                    self.best_height = self.best_height.max(height);
+                    if self.instrumented == Some(producer) {
+                        self.relay_log.entry(hash).or_insert(RelayRecord {
+                            received: now,
+                            last_sent: None,
+                            sends: 0,
+                            is_block: true,
+                        });
+                    }
+                }
+            }
+            self.miner = miner;
+            self.schedule_pump(producer, now);
+        }
+        self.schedule_mine(now);
+    }
+
+    fn on_inject_tx(&mut self, now: SimTime) {
+        let ids = self.online_ids();
+        if let Some(&target) = self.rng.choose(&ids) {
+            let mut txgen = std::mem::replace(&mut self.txgen, TxGenerator::new(0));
+            let mut rng = self.rng.fork("tx");
+            if let Some(node) = self.node_mut(target) {
+                let tx = txgen.next_tx(&mut rng);
+                node.accept_tx(tx, now);
+            }
+            self.txgen = txgen;
+            self.schedule_pump(target, now);
+        }
+        self.schedule_tx(now);
+    }
+
+    fn disconnect_pair(&mut self, a: NodeId, b: NodeId) {
+        if let Some(n) = self.nodes.get_mut(a.0 as usize).and_then(|n| n.as_mut()) {
+            n.on_disconnected(b);
+        }
+        if let Some(n) = self.nodes.get_mut(b.0 as usize).and_then(|n| n.as_mut()) {
+            n.on_disconnected(a);
+        }
+        // Both sides may want replacement connections.
+        self.schedule_connect(a, SimDuration::from_millis(10));
+        self.schedule_connect(b, SimDuration::from_millis(10));
+    }
+
+    fn on_depart(&mut self, id: NodeId, now: SimTime) {
+        let slot = id.0 as usize;
+        let Some(node) = self.nodes[slot].take() else {
+            return;
+        };
+        let synchronized = self.meta[slot].ibd_until <= now
+            && node.chain.is_synced_to(self.best_height);
+        self.meta[slot].online = false;
+        self.churn_events
+            .push((now, ChurnEvent::Departed { node: id, synchronized }));
+        // Drop all its connections.
+        let peers: Vec<NodeId> = node.peers.keys().copied().collect();
+        for p in peers {
+            if let Some(n) = self.nodes.get_mut(p.0 as usize).and_then(|n| n.as_mut()) {
+                n.on_disconnected(id);
+            }
+            self.schedule_connect(p, SimDuration::from_millis(10));
+        }
+        // Rejoin or be replaced by a fresh arrival. Worlds without a churn
+        // model (forced departures only) schedule neither. The addrman is
+        // stashed (peers.dat) only for nodes that will actually rejoin —
+        // stashing every departure would grow without bound.
+        let mut crng = self.rng.fork("rejoin");
+        match self.churn.as_ref().map(|c| c.rejoin(&mut crng)) {
+            Some(Rejoin::After(gap)) => {
+                self.stashed_addrman.insert(id, node.addrman.clone());
+                self.queue.schedule(now + gap, Ev::RejoinNode(id));
+            }
+            Some(Rejoin::Never) => {
+                let gap = self.rng.exp_duration(SimDuration::from_hours(2));
+                self.queue.schedule(now + gap, Ev::Arrive);
+            }
+            None => {
+                // Forced departure (resync experiment): keep peers.dat so a
+                // forced rejoin restores it, as a real restart would.
+                self.stashed_addrman.insert(id, node.addrman.clone());
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, now: SimTime, _rejoin: bool, _id: Option<NodeId>) {
+        let mut rng = self.rng.fork("arrive");
+        let id = self.spawn_node(true, false, &mut rng);
+        let slot = id.0 as usize;
+        self.meta[slot].permanent = false; // replacements churn
+        if let Some(mean) = self.cfg.ibd_fresh_mean {
+            if self.meta[slot].ibd_until != SimTime::MAX {
+                let debt = self.rng.exp_duration(mean);
+                self.meta[slot].ibd_until = now + debt;
+            }
+        }
+        self.seed_addrman_with(id, &mut rng, false);
+        self.boot_node(id, now, &mut rng);
+        self.churn_events
+            .push((now, ChurnEvent::Joined { node: id, rejoin: false }));
+    }
+
+    fn on_rejoin(&mut self, id: NodeId, now: SimTime) {
+        let slot = id.0 as usize;
+        if self.nodes[slot].is_some() {
+            return;
+        }
+        let meta = &self.meta[slot];
+        let mut rng = self.rng.fork("rejoin-node");
+        let mut node = Node::new(
+            id,
+            meta.addr,
+            meta.reachable,
+            self.cfg.node_cfg.clone(),
+            rng.next_u64(),
+        );
+        node.cfg.compact_blocks = rng.chance(self.cfg.compact_fraction);
+        // Restore the node's previous addrman (peers.dat survives a
+        // restart); fall back to DNS re-seeding if none was stashed.
+        let restored = match self.stashed_addrman.remove(&id) {
+            Some(am) => {
+                node.addrman = am;
+                true
+            }
+            None => false,
+        };
+        self.nodes[slot] = Some(node);
+        self.meta[slot].online = true;
+        // Rejoins resync quickly (paper: 11 min 14 s measured).
+        if self.meta[slot].ibd_until != SimTime::MAX {
+            let debt = self.rng.exp_duration(self.cfg.ibd_rejoin_mean);
+            self.meta[slot].ibd_until = now + debt;
+        }
+        if !restored {
+            self.seed_addrman_with(id, &mut rng, false);
+        }
+        self.boot_node(id, now, &mut rng);
+        self.churn_events
+            .push((now, ChurnEvent::Joined { node: id, rejoin: true }));
+    }
+}

@@ -1,0 +1,448 @@
+//! Protocol-conformance tests for the node state machine, driven directly
+//! through `deliver`/`pump` without a world.
+
+use bitsync_chain::{Miner, TxGenerator};
+use bitsync_node::{unix_time, Direction, Node, NodeConfig, NodeId};
+use bitsync_protocol::addr::{NetAddr, TimestampedAddr};
+use bitsync_protocol::hash::{Hash256, InvVect};
+use bitsync_protocol::message::Message;
+use bitsync_sim::rng::SimRng;
+use bitsync_sim::time::SimTime;
+use std::net::Ipv4Addr;
+
+fn addr(last: u8) -> NetAddr {
+    NetAddr::from_ipv4(Ipv4Addr::new(203, 0, 113, last), 8333)
+}
+
+fn node(id: u32, seed: u64) -> Node {
+    Node::new(NodeId(id), addr(id as u8 + 1), true, NodeConfig::bitcoin_core(), seed)
+}
+
+/// Completes a handshake by hand: peer 9 is inbound at `n`.
+fn ready_inbound_peer(n: &mut Node, peer: u32, now: SimTime) {
+    let pid = NodeId(peer);
+    n.on_connected(pid, addr(peer as u8 + 1), Direction::Inbound, now);
+    n.deliver(
+        pid,
+        Message::Version(bitsync_protocol::message::VersionMsg {
+            version: bitsync_protocol::PROTOCOL_VERSION,
+            services: 1,
+            timestamp: unix_time(now),
+            addr_recv: n.addr,
+            addr_from: addr(peer as u8 + 1),
+            nonce: peer as u64,
+            user_agent: "/test/".into(),
+            start_height: 0,
+            relay: true,
+        }),
+    );
+    n.deliver(pid, Message::Verack);
+    n.pump(now);
+    n.pump(now);
+    assert!(n.peers[&pid].is_ready(), "handshake incomplete");
+}
+
+/// Drains all queued sends to a given peer.
+fn drain_to(n: &mut Node, to: NodeId, now: SimTime) -> Vec<Message> {
+    let mut out = Vec::new();
+    for _ in 0..50 {
+        let (sent, _) = n.pump(now);
+        let mut any = false;
+        for o in sent {
+            any = true;
+            if o.to == to {
+                out.push(o.msg);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn getaddr_answered_once_per_connection() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 1);
+    for i in 10..40u8 {
+        n.addrman.add(addr(i), addr(99), unix_time(now));
+    }
+    ready_inbound_peer(&mut n, 9, now);
+    n.deliver(NodeId(9), Message::GetAddr);
+    n.deliver(NodeId(9), Message::GetAddr);
+    let msgs = drain_to(&mut n, NodeId(9), now);
+    let addr_replies = msgs
+        .iter()
+        .filter(|m| matches!(m, Message::Addr(_)))
+        .count();
+    assert_eq!(addr_replies, 1, "Core answers GETADDR once: {msgs:?}");
+}
+
+#[test]
+fn getaddr_reply_contains_own_address() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 2);
+    ready_inbound_peer(&mut n, 9, now);
+    n.deliver(NodeId(9), Message::GetAddr);
+    n.pump(now);
+    let msgs = drain_to(&mut n, NodeId(9), now);
+    let own = n.addr;
+    let found = msgs.iter().any(|m| {
+        matches!(m, Message::Addr(list) if list.iter().any(|e| e.addr == own))
+    });
+    assert!(found, "own address missing from ADDR reply");
+}
+
+#[test]
+fn ping_gets_pong_with_same_nonce() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 3);
+    ready_inbound_peer(&mut n, 9, now);
+    n.deliver(NodeId(9), Message::Ping(0xabcdef));
+    n.pump(now);
+    let msgs = drain_to(&mut n, NodeId(9), now);
+    assert!(msgs.contains(&Message::Pong(0xabcdef)), "{msgs:?}");
+}
+
+#[test]
+fn unknown_getdata_yields_notfound() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 4);
+    ready_inbound_peer(&mut n, 9, now);
+    let missing = InvVect::tx(Hash256::hash_of(b"nowhere"));
+    n.deliver(NodeId(9), Message::GetData(vec![missing]));
+    n.pump(now);
+    let msgs = drain_to(&mut n, NodeId(9), now);
+    assert!(
+        msgs.iter()
+            .any(|m| matches!(m, Message::NotFound(v) if v.contains(&missing))),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn tx_inv_triggers_getdata_only_for_unknown() {
+    let now = SimTime::from_secs(1);
+    let mut rng = SimRng::seed_from(5);
+    let mut gen = TxGenerator::new(1);
+    let mut n = node(0, 5);
+    ready_inbound_peer(&mut n, 9, now);
+    let known = gen.next_tx(&mut rng);
+    let unknown = gen.next_tx(&mut rng);
+    n.accept_tx(known.clone(), now);
+    drain_to(&mut n, NodeId(9), now);
+    n.deliver(
+        NodeId(9),
+        Message::Inv(vec![InvVect::tx(known.txid()), InvVect::tx(unknown.txid())]),
+    );
+    let msgs = drain_to(&mut n, NodeId(9), now);
+    let getdatas: Vec<&Message> = msgs
+        .iter()
+        .filter(|m| matches!(m, Message::GetData(_)))
+        .collect();
+    assert_eq!(getdatas.len(), 1);
+    if let Message::GetData(items) = getdatas[0] {
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].hash, unknown.txid());
+    }
+}
+
+#[test]
+fn duplicate_tx_not_rerelayed() {
+    let now = SimTime::from_secs(1);
+    let mut rng = SimRng::seed_from(6);
+    let mut gen = TxGenerator::new(1);
+    let mut n = node(0, 6);
+    ready_inbound_peer(&mut n, 9, now);
+    let tx = gen.next_tx(&mut rng);
+    assert!(n.accept_tx(tx.clone(), now));
+    assert!(!n.accept_tx(tx.clone(), now));
+    let msgs = drain_to(&mut n, NodeId(9), now);
+    let tx_sends = msgs
+        .iter()
+        .filter(|m| matches!(m, Message::Tx(t) if t.txid() == tx.txid()))
+        .count();
+    assert_eq!(tx_sends, 1, "duplicate relay: {msgs:?}");
+}
+
+#[test]
+fn headers_request_bodies_in_batches() {
+    let now = SimTime::from_secs(1);
+    let rng = SimRng::seed_from(7);
+    // Donor chain with 20 blocks.
+    let mut donor = node(1, 7);
+    let mut miner = Miner::new(1, 10);
+    for _ in 0..20 {
+        donor.mine_and_relay(&mut miner, now);
+    }
+    let headers: Vec<_> = (1..=20)
+        .map(|h| {
+            donor
+                .chain
+                .header(&donor.chain.hash_at_height(h).unwrap())
+                .unwrap()
+        })
+        .collect();
+    let _ = rng;
+
+    let mut n = node(0, 8);
+    ready_inbound_peer(&mut n, 9, now);
+    n.deliver(NodeId(9), Message::Headers(headers));
+    n.pump(now);
+    assert_eq!(n.chain.height(), 20, "headers connected");
+    let msgs = drain_to(&mut n, NodeId(9), now);
+    let mut requested = 0usize;
+    for m in &msgs {
+        if let Message::GetData(items) = m {
+            assert!(items.len() <= 16, "batch too large: {}", items.len());
+            requested += items.len();
+        }
+    }
+    assert_eq!(requested, 20, "all bodies requested");
+}
+
+#[test]
+fn orphan_block_is_stashed_and_connected_after_parent() {
+    let now = SimTime::from_secs(1);
+    let mut donor = node(1, 9);
+    let mut miner = Miner::new(2, 10);
+    donor.mine_and_relay(&mut miner, now);
+    donor.mine_and_relay(&mut miner, now);
+    let b1 = donor
+        .chain
+        .block(&donor.chain.hash_at_height(1).unwrap())
+        .unwrap()
+        .clone();
+    let b2 = donor
+        .chain
+        .block(&donor.chain.hash_at_height(2).unwrap())
+        .unwrap()
+        .clone();
+
+    let mut n = node(0, 10);
+    ready_inbound_peer(&mut n, 9, now);
+    // Deliver out of order: b2 first (orphan), then b1.
+    n.deliver(NodeId(9), Message::Block(Box::new(b2.clone())));
+    n.pump(now);
+    assert_eq!(n.chain.height(), 0, "orphan must not connect");
+    n.deliver(NodeId(9), Message::Block(Box::new(b1)));
+    n.pump(now);
+    assert_eq!(n.chain.height(), 2, "orphan chained after parent");
+    assert!(n.chain.has_body(&b2.block_hash()));
+}
+
+#[test]
+fn addr_entries_land_in_addrman_with_peer_as_source() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 11);
+    ready_inbound_peer(&mut n, 9, now);
+    let gossip = vec![
+        TimestampedAddr::new(unix_time(now) as u32, addr(100)),
+        TimestampedAddr::new(unix_time(now) as u32, addr(101)),
+    ];
+    n.deliver(NodeId(9), Message::Addr(gossip));
+    n.pump(now);
+    assert!(n.addrman.info(&addr(100)).is_some());
+    assert_eq!(
+        n.addrman.info(&addr(100)).unwrap().source,
+        addr(10) // peer 9's address
+    );
+    assert_eq!(n.stats.addrs_received, 2);
+}
+
+#[test]
+fn own_address_never_enters_own_addrman() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 12);
+    let own = n.addr;
+    ready_inbound_peer(&mut n, 9, now);
+    n.deliver(
+        NodeId(9),
+        Message::Addr(vec![TimestampedAddr::new(unix_time(now) as u32, own)]),
+    );
+    n.pump(now);
+    assert!(n.addrman.info(&own).is_none());
+}
+
+#[test]
+fn disconnect_cleans_peer_state() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 13);
+    ready_inbound_peer(&mut n, 9, now);
+    assert_eq!(n.connection_count(), 1);
+    n.on_disconnected(NodeId(9));
+    assert_eq!(n.connection_count(), 0);
+    assert!(!n.deliver(NodeId(9), Message::Ping(1)), "delivery to gone peer");
+}
+
+#[test]
+fn socket_writer_serializes_sends() {
+    // Two peers each get a large block; the second transmission must start
+    // after the first finishes (single upload budget).
+    let now = SimTime::from_secs(1);
+    let mut cfg = NodeConfig::bitcoin_core();
+    cfg.upload_bandwidth = 100_000.0; // slow link
+    cfg.compact_blocks = false;
+    let mut n = Node::new(NodeId(0), addr(1), true, cfg, 14);
+    ready_inbound_peer(&mut n, 8, now);
+    ready_inbound_peer(&mut n, 9, now);
+    // Build a chunky block.
+    let mut rng = SimRng::seed_from(15);
+    let mut gen = TxGenerator::new(3);
+    for _ in 0..200 {
+        n.mempool.insert(gen.next_tx(&mut rng));
+    }
+    let mut miner = Miner::new(4, 500);
+    n.mine_and_relay(&mut miner, now);
+    let (sent, _) = n.pump(now);
+    let blocks: Vec<_> = sent
+        .iter()
+        .filter(|o| o.msg.is_block_bearing() || matches!(o.msg, Message::Block(_)))
+        .collect();
+    assert!(blocks.len() >= 2, "expected block sends to both peers");
+    // Serialized: second send starts no earlier than the first ends.
+    assert!(blocks[1].send_start >= blocks[0].send_end);
+    assert!(blocks[0].send_end > blocks[0].send_start, "transmission takes time");
+}
+
+#[test]
+fn getaddr_cache_serves_identical_samples() {
+    use bitsync_sim::time::SimDuration;
+
+    let now = SimTime::from_secs(1);
+    let mut cfg = NodeConfig::bitcoin_core();
+    cfg.getaddr_cache = Some(SimDuration::from_hours(24));
+    let mut n = Node::new(NodeId(0), addr(1), true, cfg, 30);
+    for i in 10..200u8 {
+        n.addrman.add(addr(i), addr(99), unix_time(now));
+    }
+    // Two different peers ask within the cache window.
+    ready_inbound_peer(&mut n, 8, now);
+    ready_inbound_peer(&mut n, 9, now);
+    n.deliver(NodeId(8), Message::GetAddr);
+    n.deliver(NodeId(9), Message::GetAddr);
+    let mut replies: Vec<Vec<NetAddr>> = Vec::new();
+    for _ in 0..20 {
+        let (out, _) = n.pump(now);
+        for o in out {
+            if let Message::Addr(list) = o.msg {
+                let mut addrs: Vec<NetAddr> =
+                    list.iter().map(|e| e.addr).filter(|a| *a != n.addr).collect();
+                addrs.sort();
+                replies.push(addrs);
+            }
+        }
+        if replies.len() == 2 {
+            break;
+        }
+    }
+    assert_eq!(replies.len(), 2);
+    // The 0.21 countermeasure: both requesters see the same sample, so
+    // iterative crawling cannot page through the table.
+    assert_eq!(replies[0], replies[1]);
+    assert!(!replies[0].is_empty());
+}
+
+#[test]
+fn uncached_getaddr_samples_differ_across_peers() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 31); // default config: no cache (Core 0.20)
+    for i in 10..250u8 {
+        n.addrman.add(addr(i), addr(99), unix_time(now));
+    }
+    ready_inbound_peer(&mut n, 8, now);
+    ready_inbound_peer(&mut n, 9, now);
+    n.deliver(NodeId(8), Message::GetAddr);
+    n.deliver(NodeId(9), Message::GetAddr);
+    let mut replies: Vec<Vec<NetAddr>> = Vec::new();
+    for _ in 0..20 {
+        let (out, _) = n.pump(now);
+        for o in out {
+            if let Message::Addr(list) = o.msg {
+                let mut addrs: Vec<NetAddr> =
+                    list.iter().map(|e| e.addr).filter(|a| *a != n.addr).collect();
+                addrs.sort();
+                replies.push(addrs);
+            }
+        }
+        if replies.len() == 2 {
+            break;
+        }
+    }
+    assert_eq!(replies.len(), 2);
+    // Independent 23% samples of 240 entries virtually never coincide —
+    // which is exactly what the paper's Algorithm 1 exploits.
+    assert_ne!(replies[0], replies[1]);
+}
+
+#[test]
+fn silent_peer_is_evicted_after_timeout() {
+    use bitsync_sim::time::SimDuration;
+
+    let start = SimTime::from_secs(1);
+    let mut n = node(0, 32);
+    ready_inbound_peer(&mut n, 9, start);
+    n.note_recv(NodeId(9), start);
+    // Quiet for 21 minutes: past Core's 20-minute timeout.
+    let later = start + SimDuration::from_mins(21);
+    let (_, reqs) = n.pump(later);
+    assert!(
+        reqs.contains(&bitsync_node::NodeRequest::Disconnect(NodeId(9))),
+        "silent peer not evicted: {reqs:?}"
+    );
+}
+
+#[test]
+fn keepalive_pings_quiet_peers() {
+    use bitsync_sim::time::SimDuration;
+
+    let start = SimTime::from_secs(1);
+    let mut n = node(0, 33);
+    ready_inbound_peer(&mut n, 9, start);
+    n.note_recv(NodeId(9), start);
+    let later = start + SimDuration::from_mins(3);
+    let mut pinged = false;
+    for _ in 0..5 {
+        let (out, _) = n.pump(later);
+        if out.iter().any(|o| matches!(o.msg, Message::Ping(_))) {
+            pinged = true;
+            break;
+        }
+    }
+    assert!(pinged, "no keepalive ping sent");
+}
+
+#[test]
+fn addrv2_legacy_subset_enters_addrman() {
+    use bitsync_protocol::addrv2::{AddrV2Entry, NetworkAddress};
+
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 40);
+    ready_inbound_peer(&mut n, 9, now);
+    let entries = vec![
+        AddrV2Entry::from_legacy(unix_time(now) as u32, &addr(120)),
+        // A Tor v3 address has no legacy/dialable form in the simulation.
+        AddrV2Entry {
+            time: unix_time(now) as u32,
+            services: 1,
+            addr: NetworkAddress::TorV3([5u8; 32]),
+            port: 8333,
+        },
+    ];
+    n.deliver(NodeId(9), Message::AddrV2(entries));
+    n.pump(now);
+    assert!(n.addrman.info(&addr(120)).is_some(), "legacy entry dropped");
+    assert_eq!(n.addrman.len(), 1, "non-IP entry must not enter addrman");
+}
+
+#[test]
+fn sendaddrv2_is_accepted_quietly() {
+    let now = SimTime::from_secs(1);
+    let mut n = node(0, 41);
+    ready_inbound_peer(&mut n, 9, now);
+    n.deliver(NodeId(9), Message::SendAddrV2);
+    let msgs = drain_to(&mut n, NodeId(9), now);
+    // No error, no reply required.
+    assert!(msgs.iter().all(|m| !matches!(m, Message::NotFound(_))));
+}

@@ -1,0 +1,198 @@
+//! Explicit tests for the paper's Figure 9 / Algorithm 3 semantics: one
+//! message processed and one flushed per peer per pump round, and the §V
+//! ordering refinements.
+
+use bitsync_node::{Direction, Node, NodeConfig, NodeId, RelayPolicy};
+use bitsync_protocol::addr::NetAddr;
+use bitsync_protocol::hash::InvVect;
+use bitsync_protocol::message::Message;
+use bitsync_sim::time::SimTime;
+use std::net::Ipv4Addr;
+
+fn addr(last: u8) -> NetAddr {
+    NetAddr::from_ipv4(Ipv4Addr::new(198, 51, 100, last), 8333)
+}
+
+fn node_with_peers(cfg: NodeConfig, n_peers: u32) -> Node {
+    let now = SimTime::from_secs(1);
+    let mut n = Node::new(NodeId(0), addr(250), true, cfg, 1);
+    for p in 1..=n_peers {
+        // Inbound avoids the initiator's VERSION occupying the send queue.
+        n.on_connected(NodeId(p), addr(p as u8), Direction::Inbound, now);
+    }
+    n
+}
+
+#[test]
+fn one_message_processed_per_peer_per_round() {
+    let now = SimTime::from_secs(1);
+    let mut n = node_with_peers(NodeConfig::bitcoin_core(), 3);
+    // Three pings queued at each peer.
+    for p in 1..=3 {
+        for k in 0..3u64 {
+            n.deliver(NodeId(p), Message::Ping(p as u64 * 10 + k));
+        }
+    }
+    let before = n.stats.msgs_processed;
+    n.pump(now);
+    // Exactly one message per peer processed in one round (Algorithm 3).
+    assert_eq!(n.stats.msgs_processed - before, 3);
+    n.pump(now);
+    assert_eq!(n.stats.msgs_processed - before, 6);
+    n.pump(now);
+    assert_eq!(n.stats.msgs_processed - before, 9);
+}
+
+#[test]
+fn one_send_flushed_per_peer_per_round() {
+    let now = SimTime::from_secs(1);
+    let mut n = node_with_peers(NodeConfig::bitcoin_core(), 4);
+    // Queue two pings from each peer; responses (pongs) accumulate in the
+    // send queues and drain one per peer per round.
+    for p in 1..=4 {
+        n.deliver(NodeId(p), Message::Ping(1));
+        n.deliver(NodeId(p), Message::Ping(2));
+    }
+    let (out1, _) = n.pump(now); // processes 4 pings, flushes 4 pongs
+    assert_eq!(out1.len(), 4);
+    let (out2, _) = n.pump(now);
+    assert_eq!(out2.len(), 4);
+    let (out3, _) = n.pump(now);
+    assert!(out3.is_empty());
+}
+
+#[test]
+fn a_block_waits_behind_queued_responses_without_priority() {
+    // The paper's example: B owes A three GETADDR-style responses; a new
+    // block for A queues *behind* them under Core's FIFO.
+    let now = SimTime::from_secs(1);
+    let mut n = node_with_peers(NodeConfig::bitcoin_core(), 1);
+    {
+        let peer = n.peers.get_mut(&NodeId(1)).unwrap();
+        peer.handshake = bitsync_node::Handshake::Ready;
+        // Three pending responses already sit in vSendMessage.
+        for k in 0..3u64 {
+            peer.send_q.push_back(Message::Pong(k));
+        }
+    }
+    let mut miner = bitsync_chain::Miner::new(1, 10);
+    n.mine_and_relay(&mut miner, now);
+    let mut order = Vec::new();
+    for _ in 0..10 {
+        let (out, _) = n.pump(now);
+        if out.is_empty() {
+            break;
+        }
+        for o in out {
+            order.push(o.msg.is_block_bearing());
+        }
+    }
+    let block_pos = order.iter().position(|b| *b).expect("block sent");
+    assert_eq!(block_pos, 3, "block did not wait: order {order:?}");
+}
+
+#[test]
+fn priority_relay_sends_the_block_first() {
+    let now = SimTime::from_secs(1);
+    let mut cfg = NodeConfig::bitcoin_core();
+    cfg.relay = RelayPolicy::paper_proposal();
+    let mut n = node_with_peers(cfg, 1);
+    {
+        let peer = n.peers.get_mut(&NodeId(1)).unwrap();
+        peer.handshake = bitsync_node::Handshake::Ready;
+        for k in 0..3u64 {
+            peer.send_q.push_back(Message::Pong(k));
+        }
+    }
+    let mut miner = bitsync_chain::Miner::new(1, 10);
+    n.mine_and_relay(&mut miner, now);
+    let (out, _) = n.pump(now);
+    assert!(
+        out.first().is_some_and(|o| o.msg.is_block_bearing()),
+        "§V priority relay must send the block first"
+    );
+}
+
+#[test]
+fn outbound_first_ordering_under_proposal() {
+    let now = SimTime::from_secs(1);
+    let mut cfg = NodeConfig::bitcoin_core();
+    cfg.relay = RelayPolicy::paper_proposal();
+    let mut n = node_with_peers(cfg, 4);
+    // Reclassify peers 2 and 4 as outbound (their VERSION was never
+    // queued because the helper connects everyone as inbound).
+    n.peers.get_mut(&NodeId(2)).unwrap().dir = Direction::Outbound;
+    n.peers.get_mut(&NodeId(4)).unwrap().dir = Direction::Outbound;
+    for p in 1..=4 {
+        n.deliver(NodeId(p), Message::Ping(p as u64));
+    }
+    // One round both processes the pings and flushes the pongs.
+    let (out, _) = n.pump(now);
+    let order: Vec<u32> = out.iter().map(|o| o.to.0).collect();
+    // Outbound peers (2, 4) must be served before inbound (1, 3).
+    assert_eq!(order, vec![2, 4, 1, 3], "got {order:?}");
+}
+
+#[test]
+fn core_fifo_serves_connection_order() {
+    let now = SimTime::from_secs(1);
+    let mut n = node_with_peers(NodeConfig::bitcoin_core(), 4);
+    for p in 1..=4 {
+        n.deliver(NodeId(p), Message::Ping(p as u64));
+    }
+    let (out, _) = n.pump(now);
+    let order: Vec<u32> = out.iter().map(|o| o.to.0).collect();
+    assert_eq!(order, vec![1, 2, 3, 4], "got {order:?}");
+}
+
+#[test]
+fn trickle_mode_delays_announcements_into_inv_batches() {
+    use bitsync_node::TxAnnounce;
+    use bitsync_sim::time::SimDuration;
+
+    let now = SimTime::from_secs(1);
+    let mut cfg = NodeConfig::bitcoin_core();
+    cfg.tx_announce = TxAnnounce::Trickle;
+    let mut n = node_with_peers(cfg, 2);
+    for p in 1..=2 {
+        n.peers.get_mut(&NodeId(p)).unwrap().handshake = bitsync_node::Handshake::Ready;
+    }
+    let mut rng = bitsync_sim::rng::SimRng::seed_from(1);
+    let mut gen = bitsync_chain::TxGenerator::new(1);
+    let tx = gen.next_tx(&mut rng);
+    let txid = tx.txid();
+    n.accept_tx(tx, now);
+
+    // Collect everything flushed over the next simulated 30 seconds.
+    let mut invs = 0;
+    let mut full_txs = 0;
+    let mut t = now;
+    for _ in 0..300 {
+        let (out, _) = n.pump(t);
+        for o in out {
+            match o.msg {
+                Message::Inv(items) => {
+                    assert!(items.iter().any(|iv| iv.hash == txid));
+                    invs += 1;
+                }
+                Message::Tx(_) => full_txs += 1,
+                _ => {}
+            }
+        }
+        t = t + SimDuration::from_millis(100);
+    }
+    // Trickle announces via INV, never pushes the full TX unsolicited.
+    assert_eq!(invs, 2, "each peer gets one INV");
+    assert_eq!(full_txs, 0, "no unsolicited TX in trickle mode");
+    // Peers can then fetch it.
+    n.deliver(NodeId(1), Message::GetData(vec![InvVect::tx(txid)]));
+    let mut served = false;
+    for _ in 0..5 {
+        let (out, _) = n.pump(t);
+        if out.iter().any(|o| matches!(&o.msg, Message::Tx(x) if x.txid() == txid)) {
+            served = true;
+            break;
+        }
+    }
+    assert!(served, "GETDATA after trickled INV must be served");
+}

@@ -1,0 +1,287 @@
+//! Integration tests for the world simulator: handshakes, block
+//! propagation, connection dynamics, ADDR gossip, and churn.
+
+use bitsync_node::world::{World, WorldConfig};
+use bitsync_node::ChurnEvent;
+use bitsync_net::churn::ChurnConfig;
+use bitsync_sim::time::{SimDuration, SimTime};
+
+fn base_cfg(seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        n_reachable: 20,
+        n_unreachable_full: 4,
+        n_phantoms: 100,
+        seed_reachable: 12,
+        seed_phantoms: 10,
+        ..WorldConfig::default()
+    }
+}
+
+#[test]
+fn nodes_establish_outbound_connections() {
+    let mut world = World::new(base_cfg(1));
+    world.run_until(SimTime::from_secs(120));
+    let mut total_outbound = 0;
+    for id in world.online_ids() {
+        let n = world.node(id).unwrap();
+        total_outbound += n.outbound_count();
+        assert!(n.outbound_count() <= 8);
+    }
+    // With 20 reachable nodes and modest phantom pollution, most slots
+    // should fill within two minutes.
+    assert!(
+        total_outbound >= 24 * 4,
+        "total outbound {total_outbound}"
+    );
+}
+
+#[test]
+fn handshake_populates_tried_tables() {
+    let mut world = World::new(base_cfg(2));
+    world.run_until(SimTime::from_secs(300));
+    let with_tried = world
+        .online_ids()
+        .iter()
+        .filter(|id| world.node(**id).unwrap().addrman.tried_count() > 0)
+        .count();
+    assert!(with_tried >= 20, "nodes with tried entries: {with_tried}");
+}
+
+#[test]
+fn mined_blocks_propagate_to_everyone() {
+    let mut cfg = base_cfg(3);
+    cfg.block_interval = Some(SimDuration::from_secs(120));
+    let mut world = World::new(cfg);
+    // Let connections form, then mine for a while.
+    world.run_until(SimTime::from_secs(1800));
+    assert!(world.best_height() >= 3, "height {}", world.best_height());
+    // Every online node should be at the tip (no churn, ample time).
+    let ids = world.online_ids();
+    let synced = ids.iter().filter(|id| world.is_synchronized(**id)).count();
+    let reachable_online = ids
+        .iter()
+        .filter(|id| world.meta[id.0 as usize].reachable)
+        .count();
+    assert!(
+        synced >= reachable_online,
+        "synced {synced} of {} reachable",
+        reachable_online
+    );
+    assert!((world.sync_fraction() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn transactions_spread_through_mempools() {
+    let mut cfg = base_cfg(4);
+    cfg.tx_rate = 0.2;
+    let mut world = World::new(cfg);
+    world.run_until(SimTime::from_secs(600));
+    let pools: Vec<usize> = world
+        .online_ids()
+        .iter()
+        .map(|id| world.node(*id).unwrap().mempool.len())
+        .collect();
+    let max = *pools.iter().max().unwrap();
+    let with_txs = pools.iter().filter(|&&p| p > 0).count();
+    assert!(max > 10, "max mempool {max}");
+    assert!(with_txs >= pools.len() * 3 / 4, "spread {with_txs}/{}", pools.len());
+}
+
+#[test]
+fn compact_blocks_reconstruct_with_tx_load() {
+    let mut cfg = base_cfg(5);
+    cfg.tx_rate = 0.5;
+    cfg.block_interval = Some(SimDuration::from_secs(120));
+    let mut world = World::new(cfg);
+    world.run_until(SimTime::from_secs(1500));
+    assert!(world.best_height() >= 4);
+    // Blocks carry transactions and everyone still converges.
+    let ids = world.online_ids();
+    let heights: Vec<u64> = ids
+        .iter()
+        .map(|id| world.node(*id).unwrap().chain.height())
+        .collect();
+    let at_tip = heights
+        .iter()
+        .filter(|&&h| h == world.best_height())
+        .count();
+    assert!(at_tip >= ids.len() - 2, "at tip {at_tip}/{}", ids.len());
+}
+
+#[test]
+fn unreachable_nodes_never_accept_inbound() {
+    let mut world = World::new(base_cfg(6));
+    world.run_until(SimTime::from_secs(300));
+    for id in world.online_ids() {
+        if !world.meta[id.0 as usize].reachable {
+            assert_eq!(world.node(id).unwrap().inbound_count(), 0);
+        }
+    }
+}
+
+#[test]
+fn addr_census_classifies_gossip() {
+    let mut world = World::new(base_cfg(7));
+    world.run_until(SimTime::from_secs(600));
+    let total: u64 = world.addr_senders.values().map(|s| s.total).sum();
+    let reachable: u64 = world.addr_senders.values().map(|s| s.reachable).sum();
+    assert!(total > 100, "addr entries {total}");
+    assert!(reachable > 0);
+    assert!(reachable < total, "some gossip must be unreachable");
+}
+
+#[test]
+fn malicious_senders_emit_zero_reachable_addrs() {
+    let mut cfg = base_cfg(8);
+    cfg.n_malicious = 3;
+    let mut world = World::new(cfg);
+    world.run_until(SimTime::from_secs(900));
+    let mut flooders_seen = 0;
+    for (id, stats) in &world.addr_senders {
+        if world.meta[id.0 as usize].malicious && stats.total > 0 {
+            flooders_seen += 1;
+            assert_eq!(
+                stats.reachable, 0,
+                "flooder {id} leaked a reachable address"
+            );
+        }
+    }
+    assert!(flooders_seen >= 1, "no flooder produced ADDR traffic");
+}
+
+#[test]
+fn churn_generates_departures_and_arrivals() {
+    let mut cfg = base_cfg(9);
+    // Aggressive churn so a short run sees events.
+    cfg.churn = Some(ChurnConfig {
+        mean_lifetime: SimDuration::from_hours(2),
+        rejoin_probability: 0.3,
+        mean_offline_gap: SimDuration::from_hours(1),
+    });
+    let mut world = World::new(cfg);
+    world.run_until(SimTime::from_secs(12 * 3600));
+    let departures = world
+        .churn_events
+        .iter()
+        .filter(|(_, e)| matches!(e, ChurnEvent::Departed { .. }))
+        .count();
+    let arrivals = world
+        .churn_events
+        .iter()
+        .filter(|(_, e)| matches!(e, ChurnEvent::Joined { .. }))
+        .count();
+    assert!(departures >= 5, "departures {departures}");
+    assert!(arrivals >= 3, "arrivals {arrivals}");
+    // Network did not collapse.
+    assert!(world.online_ids().len() >= 10);
+}
+
+#[test]
+fn relay_log_records_block_and_tx_delays() {
+    let mut cfg = base_cfg(10);
+    cfg.tx_rate = 0.3;
+    cfg.block_interval = Some(SimDuration::from_secs(180));
+    cfg.instrument = Some(0);
+    let mut world = World::new(cfg);
+    world.run_until(SimTime::from_secs(1800));
+    let delays = world.relay_delays();
+    let blocks = delays.iter().filter(|(b, _)| *b).count();
+    let txs = delays.iter().filter(|(b, _)| !*b).count();
+    assert!(blocks > 0, "no block relays recorded");
+    assert!(txs > 0, "no tx relays recorded");
+    // Quantized delays are small but non-negative.
+    for (_, d) in delays {
+        assert!(d < 300, "implausible relay delay {d}s");
+    }
+}
+
+#[test]
+fn deterministic_across_identical_seeds() {
+    let run = |seed| {
+        let mut cfg = base_cfg(seed);
+        cfg.block_interval = Some(SimDuration::from_secs(120));
+        cfg.tx_rate = 0.1;
+        let mut world = World::new(cfg);
+        world.run_until(SimTime::from_secs(900));
+        (
+            world.best_height(),
+            world.events_processed(),
+            world.sync_fraction(),
+        )
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42).1, run(43).1);
+}
+
+#[test]
+fn connection_counts_respect_core_limits() {
+    let mut world = World::new(base_cfg(11));
+    world.run_until(SimTime::from_secs(600));
+    for id in world.online_ids() {
+        let n = world.node(id).unwrap();
+        assert!(n.outbound_count() <= 8, "outbound {}", n.outbound_count());
+        assert!(n.inbound_count() <= 117);
+        // Feelers may momentarily push the total above outbound+inbound.
+        assert!(n.connection_count() <= 8 + 117 + 2);
+    }
+}
+
+#[test]
+fn partition_severs_and_blocks_cross_traffic() {
+    let mut cfg = base_cfg(12);
+    cfg.block_interval = Some(SimDuration::from_secs(120));
+    let mut world = World::new(cfg);
+    world.run_until(SimTime::from_secs(600));
+
+    // Hijack the ASes hosting roughly half the reachable nodes.
+    let mut asns: Vec<u32> = world
+        .online_ids()
+        .iter()
+        .filter(|id| world.meta[id.0 as usize].reachable)
+        .map(|id| world.meta[id.0 as usize].asn)
+        .collect();
+    asns.sort_unstable();
+    asns.dedup();
+    let half: Vec<u32> = asns.iter().copied().take(asns.len() / 2).collect();
+    world.apply_partition(half.clone());
+    let isolated = world.isolated_count();
+    assert!(isolated > 0, "partition isolated nobody");
+
+    // No connection crosses the boundary after severing + some settling.
+    world.run_until(SimTime::from_secs(660));
+    for id in world.online_ids() {
+        let my = world.meta[id.0 as usize].asn;
+        let my_in = half.contains(&my);
+        if let Some(node) = world.node(id) {
+            for peer in node.peers.keys() {
+                let peer_asn = world.meta[peer.0 as usize].asn;
+                assert_eq!(
+                    half.contains(&peer_asn),
+                    my_in,
+                    "cross-boundary connection survived: {id} ↔ {peer}"
+                );
+            }
+        }
+    }
+    // Lifting restores normal operation.
+    world.lift_partition();
+    assert_eq!(world.isolated_count(), 0);
+}
+
+#[test]
+fn rejoining_node_restores_its_addrman() {
+    use bitsync_node::NodeId;
+
+    let mut world = World::new(base_cfg(13));
+    world.run_until(SimTime::from_secs(600));
+    let id = NodeId(0);
+    let before = world.node(id).unwrap().addrman.len();
+    assert!(before > 0);
+    world.force_depart(id);
+    world.run_for(SimDuration::from_secs(60));
+    world.force_rejoin(id);
+    let after = world.node(id).unwrap().addrman.len();
+    // peers.dat persisted: the table is back, not re-seeded from scratch.
+    assert_eq!(after, before, "addrman not restored across restart");
+}

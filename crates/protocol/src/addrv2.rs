@@ -1,0 +1,287 @@
+//! BIP 155 `addrv2`: the second-generation address gossip format.
+//!
+//! Bitcoin Core 0.21 (released months after the paper's measurement window)
+//! introduced `addrv2` to carry non-IP networks — Tor v3, I2P, CJDNS —
+//! which the 30-byte legacy `ADDR` entry cannot express. It is the same
+//! protocol surface the paper's §V proposals target, so the simulator
+//! carries it as an extension: entries are variable-length, prefixed with a
+//! network id, and services become a `CompactSize`.
+
+use crate::addr::NetAddr;
+use crate::wire::{Decodable, DecodeError, Encodable, Reader, Writer};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Maximum address payload length BIP 155 permits.
+const MAX_ADDRV2_BYTES: u64 = 512;
+
+/// A BIP 155 network address.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NetworkAddress {
+    /// Network id 1: 4-byte IPv4.
+    Ipv4(Ipv4Addr),
+    /// Network id 2: 16-byte IPv6.
+    Ipv6(Ipv6Addr),
+    /// Network id 4: 32-byte Tor v3 public key.
+    TorV3([u8; 32]),
+    /// Network id 5: 32-byte I2P destination hash.
+    I2p([u8; 32]),
+    /// Network id 6: 16-byte CJDNS address (must start with `fc`).
+    Cjdns(Ipv6Addr),
+    /// Any other network id: carried opaquely, as BIP 155 requires
+    /// forward-compatible parsers to do.
+    Unknown {
+        /// The unrecognized network id.
+        network_id: u8,
+        /// Raw address payload.
+        bytes: Vec<u8>,
+    },
+}
+
+impl NetworkAddress {
+    /// The BIP 155 network id.
+    pub fn network_id(&self) -> u8 {
+        match self {
+            NetworkAddress::Ipv4(_) => 1,
+            NetworkAddress::Ipv6(_) => 2,
+            NetworkAddress::TorV3(_) => 4,
+            NetworkAddress::I2p(_) => 5,
+            NetworkAddress::Cjdns(_) => 6,
+            NetworkAddress::Unknown { network_id, .. } => *network_id,
+        }
+    }
+
+    /// The raw address payload bytes.
+    pub fn payload(&self) -> Vec<u8> {
+        match self {
+            NetworkAddress::Ipv4(ip) => ip.octets().to_vec(),
+            NetworkAddress::Ipv6(ip) | NetworkAddress::Cjdns(ip) => ip.octets().to_vec(),
+            NetworkAddress::TorV3(k) | NetworkAddress::I2p(k) => k.to_vec(),
+            NetworkAddress::Unknown { bytes, .. } => bytes.clone(),
+        }
+    }
+
+    /// Whether the address can be expressed in the legacy 16-byte format.
+    pub fn is_legacy_compatible(&self) -> bool {
+        matches!(self, NetworkAddress::Ipv4(_) | NetworkAddress::Ipv6(_))
+    }
+}
+
+/// One `addrv2` gossip entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AddrV2Entry {
+    /// Last-seen time, UNIX seconds.
+    pub time: u32,
+    /// Service bits (CompactSize on the wire, per BIP 155).
+    pub services: u64,
+    /// The address.
+    pub addr: NetworkAddress,
+    /// TCP port, big-endian on the wire.
+    pub port: u16,
+}
+
+impl AddrV2Entry {
+    /// Converts a legacy [`NetAddr`] into an `addrv2` entry.
+    pub fn from_legacy(time: u32, a: &NetAddr) -> Self {
+        let addr = match a.as_ipv4() {
+            Some(v4) => NetworkAddress::Ipv4(v4),
+            None => NetworkAddress::Ipv6(a.ip),
+        };
+        AddrV2Entry {
+            time,
+            services: a.services,
+            addr,
+            port: a.port,
+        }
+    }
+
+    /// Converts back to the legacy format if the network allows it.
+    pub fn to_legacy(&self) -> Option<NetAddr> {
+        match &self.addr {
+            NetworkAddress::Ipv4(v4) => Some(NetAddr {
+                services: self.services,
+                ip: v4.to_ipv6_mapped(),
+                port: self.port,
+            }),
+            NetworkAddress::Ipv6(v6) => Some(NetAddr {
+                services: self.services,
+                ip: *v6,
+                port: self.port,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Serialized size in bytes, computed without encoding.
+    pub fn size(&self) -> usize {
+        let payload = self.addr.payload().len();
+        4 + crate::wire::varint_len(self.services)
+            + 1
+            + crate::wire::varint_len(payload as u64)
+            + payload
+            + 2
+    }
+}
+
+impl Encodable for AddrV2Entry {
+    fn encode(&self, w: &mut Writer) {
+        w.u32_le(self.time);
+        w.varint(self.services);
+        w.u8(self.addr.network_id());
+        let payload = self.addr.payload();
+        w.varint(payload.len() as u64);
+        w.bytes(&payload);
+        w.u16_be(self.port);
+    }
+}
+
+impl Decodable for AddrV2Entry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let time = r.u32_le("addrv2.time")?;
+        let services = r.varint("addrv2.services")?;
+        let network_id = r.u8("addrv2.network_id")?;
+        let len = r.length("addrv2.addr", MAX_ADDRV2_BYTES)?;
+        let bytes = r.take(len, "addrv2.addr")?;
+        let addr = match (network_id, len) {
+            (1, 4) => NetworkAddress::Ipv4(Ipv4Addr::new(bytes[0], bytes[1], bytes[2], bytes[3])),
+            (2, 16) | (6, 16) => {
+                let mut o = [0u8; 16];
+                o.copy_from_slice(bytes);
+                let ip = Ipv6Addr::from(o);
+                if network_id == 6 {
+                    NetworkAddress::Cjdns(ip)
+                } else {
+                    NetworkAddress::Ipv6(ip)
+                }
+            }
+            (4, 32) | (5, 32) => {
+                let mut k = [0u8; 32];
+                k.copy_from_slice(bytes);
+                if network_id == 4 {
+                    NetworkAddress::TorV3(k)
+                } else {
+                    NetworkAddress::I2p(k)
+                }
+            }
+            (1, _) | (2, _) | (4, _) | (5, _) | (6, _) => {
+                // Known network with a wrong payload length is malformed.
+                return Err(DecodeError::InvalidValue {
+                    what: "addrv2 payload length",
+                    value: len as u64,
+                });
+            }
+            _ => NetworkAddress::Unknown {
+                network_id,
+                bytes: bytes.to_vec(),
+            },
+        };
+        let port = r.u16_be("addrv2.port")?;
+        Ok(AddrV2Entry {
+            time,
+            services,
+            addr,
+            port,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: &AddrV2Entry) {
+        let bytes = e.encode_to_vec();
+        assert_eq!(bytes.len(), e.size(), "size mismatch for {e:?}");
+        assert_eq!(&AddrV2Entry::decode_exact(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_size() {
+        roundtrip(&AddrV2Entry {
+            time: 1_600_000_000,
+            services: 1,
+            addr: NetworkAddress::Ipv4(Ipv4Addr::new(203, 0, 113, 7)),
+            port: 8333,
+        });
+    }
+
+    #[test]
+    fn all_networks_roundtrip() {
+        for addr in [
+            NetworkAddress::Ipv6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)),
+            NetworkAddress::TorV3([7u8; 32]),
+            NetworkAddress::I2p([9u8; 32]),
+            NetworkAddress::Cjdns(Ipv6Addr::new(0xfc00, 1, 2, 3, 4, 5, 6, 7)),
+            NetworkAddress::Unknown {
+                network_id: 42,
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+        ] {
+            roundtrip(&AddrV2Entry {
+                time: 7,
+                services: 0x409,
+                addr,
+                port: 18333,
+            });
+        }
+    }
+
+    #[test]
+    fn services_are_compactsize() {
+        // Large service bits take a 9-byte varint instead of fixed 8 LE.
+        let e = AddrV2Entry {
+            time: 0,
+            services: u64::MAX,
+            addr: NetworkAddress::Ipv4(Ipv4Addr::new(1, 2, 3, 4)),
+            port: 1,
+        };
+        // 4 time + 9 services + 1 id + 1 len + 4 addr + 2 port
+        assert_eq!(e.size(), 21);
+        roundtrip(&e);
+    }
+
+    #[test]
+    fn legacy_conversions() {
+        let legacy = NetAddr::from_ipv4(Ipv4Addr::new(198, 51, 100, 9), 8333);
+        let v2 = AddrV2Entry::from_legacy(123, &legacy);
+        assert_eq!(v2.addr, NetworkAddress::Ipv4(Ipv4Addr::new(198, 51, 100, 9)));
+        assert_eq!(v2.to_legacy(), Some(legacy));
+
+        let tor = AddrV2Entry {
+            time: 1,
+            services: 1,
+            addr: NetworkAddress::TorV3([1; 32]),
+            port: 8333,
+        };
+        assert_eq!(tor.to_legacy(), None);
+        assert!(!tor.addr.is_legacy_compatible());
+    }
+
+    #[test]
+    fn wrong_payload_length_rejected() {
+        // Claim IPv4 (id 1) but provide 5 bytes.
+        let mut w = Writer::new();
+        w.u32_le(0);
+        w.varint(1);
+        w.u8(1);
+        w.varint(5);
+        w.bytes(&[1, 2, 3, 4, 5]);
+        w.u16_be(1);
+        assert!(matches!(
+            AddrV2Entry::decode_exact(&w.into_bytes()),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut w = Writer::new();
+        w.u32_le(0);
+        w.varint(1);
+        w.u8(99);
+        w.varint(600); // above the BIP 155 cap
+        assert!(matches!(
+            AddrV2Entry::decode_exact(&w.into_bytes()),
+            Err(DecodeError::OversizedLength { .. })
+        ));
+    }
+}

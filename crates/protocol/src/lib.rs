@@ -1,0 +1,133 @@
+#![warn(missing_docs)]
+
+//! `bitsync-protocol` — the Bitcoin P2P wire protocol, reimplemented from
+//! scratch for the `bitsync` network simulation.
+//!
+//! Modules:
+//!
+//! - [`wire`]: little-endian primitives, `CompactSize` varints, and the
+//!   [`wire::Encodable`]/[`wire::Decodable`] traits.
+//! - [`addr`]: [`addr::NetAddr`] and the timestamped `ADDR` entry format —
+//!   the currency of the paper's addressing-protocol analysis (§IV-B).
+//! - [`hash`]: [`hash::Hash256`] identifiers and `INV` vectors.
+//! - [`tx`] / [`block`]: transactions, headers, blocks and Merkle roots.
+//! - [`compact`]: BIP 152 compact-block relay, whose dependence on timely
+//!   transaction relay motivates the paper's Figure 11.
+//! - [`message`]: the [`message::Message`] enum and the
+//!   `magic|command|length|checksum` framing.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitsync_protocol::message::{Message, MAGIC_MAINNET};
+//!
+//! let framed = Message::GetAddr.encode_framed(MAGIC_MAINNET);
+//! let (decoded, consumed) = Message::decode_framed(&framed, MAGIC_MAINNET)?;
+//! assert_eq!(decoded, Message::GetAddr);
+//! assert_eq!(consumed, framed.len());
+//! # Ok::<(), bitsync_protocol::wire::DecodeError>(())
+//! ```
+
+pub mod addr;
+pub mod addrv2;
+pub mod block;
+pub mod compact;
+pub mod hash;
+pub mod message;
+pub mod tx;
+pub mod wire;
+
+pub use addr::{NetAddr, TimestampedAddr, DEFAULT_PORT};
+pub use addrv2::{AddrV2Entry, NetworkAddress};
+pub use block::{Block, BlockHeader};
+pub use hash::{Hash256, InvType, InvVect};
+pub use message::{Message, VersionMsg, MAGIC_MAINNET, MAX_ADDR_PER_MSG, PROTOCOL_VERSION};
+pub use tx::Transaction;
+pub use wire::{Decodable, DecodeError, Encodable};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::tx::{OutPoint, TxIn, TxOut};
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn arb_netaddr() -> impl Strategy<Value = NetAddr> {
+        (any::<u64>(), any::<[u8; 4]>(), any::<u16>()).prop_map(|(services, ip, port)| NetAddr {
+            services,
+            ip: Ipv4Addr::from(ip).to_ipv6_mapped(),
+            port,
+        })
+    }
+
+    fn arb_tx() -> impl Strategy<Value = Transaction> {
+        (
+            proptest::collection::vec((any::<[u8; 32]>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
+            proptest::collection::vec((any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
+            any::<u32>(),
+        )
+            .prop_map(|(ins, outs, lock_time)| Transaction {
+                version: 2,
+                inputs: ins
+                    .into_iter()
+                    .map(|(h, v, s)| TxIn {
+                        previous_output: OutPoint::new(Hash256::from_bytes(h), v),
+                        script_sig: s,
+                        sequence: u32::MAX,
+                    })
+                    .collect(),
+                outputs: outs
+                    .into_iter()
+                    .map(|(value, script_pubkey)| TxOut {
+                        value,
+                        script_pubkey,
+                    })
+                    .collect(),
+                lock_time,
+            })
+    }
+
+    proptest! {
+        /// NetAddr wire encoding round-trips for arbitrary contents.
+        #[test]
+        fn netaddr_roundtrip(a in arb_netaddr()) {
+            let bytes = a.encode_to_vec();
+            prop_assert_eq!(NetAddr::decode_exact(&bytes).unwrap(), a);
+        }
+
+        /// Transactions round-trip and txids are stable across the trip.
+        #[test]
+        fn tx_roundtrip(tx in arb_tx()) {
+            let bytes = tx.encode_to_vec();
+            let back = Transaction::decode_exact(&bytes).unwrap();
+            prop_assert_eq!(back.txid(), tx.txid());
+            prop_assert_eq!(back, tx);
+        }
+
+        /// ADDR messages round-trip through framing for arbitrary entry sets
+        /// up to the protocol limit.
+        #[test]
+        fn addr_message_roundtrip(entries in proptest::collection::vec((any::<u32>(), arb_netaddr()), 0..50)) {
+            let msg = Message::Addr(entries.into_iter().map(|(t, a)| TimestampedAddr::new(t, a)).collect());
+            let framed = msg.encode_framed(MAGIC_MAINNET);
+            let (back, n) = Message::decode_framed(&framed, MAGIC_MAINNET).unwrap();
+            prop_assert_eq!(back, msg);
+            prop_assert_eq!(n, framed.len());
+        }
+
+        /// Any single-byte corruption of a framed message is detected (bad
+        /// magic, bad checksum, bad length, or payload mismatch) — decoding
+        /// never silently yields a different message.
+        #[test]
+        fn framing_detects_corruption(idx in 0usize..64, flip in 1u8..=255) {
+            let msg = Message::Ping(0x1234_5678_9abc_def0);
+            let mut framed = msg.encode_framed(MAGIC_MAINNET);
+            let idx = idx % framed.len();
+            framed[idx] ^= flip;
+            if let Ok((decoded, _)) = Message::decode_framed(&framed, MAGIC_MAINNET) { prop_assert_eq!(decoded, msg.clone()) }
+            // Restore and confirm it still decodes.
+            framed[idx] ^= flip;
+            prop_assert!(Message::decode_framed(&framed, MAGIC_MAINNET).is_ok());
+        }
+    }
+}

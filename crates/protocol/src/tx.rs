@@ -1,0 +1,346 @@
+//! Transactions in (pre-segwit) Bitcoin wire form: version, inputs, outputs
+//! and lock time. The txid is the double-SHA-256 of the serialization.
+//!
+//! Script contents are carried as opaque bytes — the simulation never
+//! executes scripts, but sizes and identifiers must be faithful because
+//! compact-block reconstruction (Figures 10/11) depends on txids and
+//! transaction sizes.
+
+use crate::hash::Hash256;
+use crate::wire::{Decodable, DecodeError, Encodable, Reader, Writer};
+
+/// Maximum script length we accept when decoding (consensus allows 10,000
+/// bytes for executed scripts; this is a sanity bound for the simulator).
+const MAX_SCRIPT_LEN: u64 = 10_000;
+/// Sanity bound on inputs/outputs per transaction.
+const MAX_TX_IO: u64 = 100_000;
+
+/// Reference to a previous transaction output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OutPoint {
+    /// The funding transaction id.
+    pub txid: Hash256,
+    /// Output index in the funding transaction.
+    pub vout: u32,
+}
+
+impl OutPoint {
+    /// The null outpoint used by coinbase inputs.
+    pub const NULL: OutPoint = OutPoint {
+        txid: Hash256::ZERO,
+        vout: u32::MAX,
+    };
+
+    /// Creates an outpoint.
+    pub fn new(txid: Hash256, vout: u32) -> Self {
+        OutPoint { txid, vout }
+    }
+
+    /// Whether this is the coinbase null outpoint.
+    pub fn is_null(&self) -> bool {
+        self.txid.is_zero() && self.vout == u32::MAX
+    }
+}
+
+impl Encodable for OutPoint {
+    fn encode(&self, w: &mut Writer) {
+        self.txid.encode(w);
+        w.u32_le(self.vout);
+    }
+}
+
+impl Decodable for OutPoint {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(OutPoint {
+            txid: Hash256::decode(r)?,
+            vout: r.u32_le("outpoint.vout")?,
+        })
+    }
+}
+
+/// A transaction input.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TxIn {
+    /// The spent output.
+    pub previous_output: OutPoint,
+    /// Unlocking script (opaque to the simulator).
+    pub script_sig: Vec<u8>,
+    /// Sequence number.
+    pub sequence: u32,
+}
+
+impl TxIn {
+    /// Creates an input spending `previous_output` with final sequence.
+    pub fn new(previous_output: OutPoint, script_sig: Vec<u8>) -> Self {
+        TxIn {
+            previous_output,
+            script_sig,
+            sequence: u32::MAX,
+        }
+    }
+}
+
+impl Encodable for TxIn {
+    fn encode(&self, w: &mut Writer) {
+        self.previous_output.encode(w);
+        w.varint(self.script_sig.len() as u64);
+        w.bytes(&self.script_sig);
+        w.u32_le(self.sequence);
+    }
+}
+
+impl Decodable for TxIn {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let previous_output = OutPoint::decode(r)?;
+        let len = r.length("txin.script", MAX_SCRIPT_LEN)?;
+        let script_sig = r.take(len, "txin.script")?.to_vec();
+        let sequence = r.u32_le("txin.sequence")?;
+        Ok(TxIn {
+            previous_output,
+            script_sig,
+            sequence,
+        })
+    }
+}
+
+/// A transaction output.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TxOut {
+    /// Value in satoshis.
+    pub value: u64,
+    /// Locking script (opaque to the simulator).
+    pub script_pubkey: Vec<u8>,
+}
+
+impl TxOut {
+    /// Creates an output paying `value` satoshis.
+    pub fn new(value: u64, script_pubkey: Vec<u8>) -> Self {
+        TxOut {
+            value,
+            script_pubkey,
+        }
+    }
+}
+
+impl Encodable for TxOut {
+    fn encode(&self, w: &mut Writer) {
+        w.u64_le(self.value);
+        w.varint(self.script_pubkey.len() as u64);
+        w.bytes(&self.script_pubkey);
+    }
+}
+
+impl Decodable for TxOut {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let value = r.u64_le("txout.value")?;
+        let len = r.length("txout.script", MAX_SCRIPT_LEN)?;
+        let script_pubkey = r.take(len, "txout.script")?.to_vec();
+        Ok(TxOut {
+            value,
+            script_pubkey,
+        })
+    }
+}
+
+/// A Bitcoin transaction.
+///
+/// # Examples
+///
+/// ```
+/// use bitsync_protocol::tx::{OutPoint, Transaction, TxIn, TxOut};
+/// use bitsync_protocol::hash::Hash256;
+///
+/// let tx = Transaction::new(
+///     vec![TxIn::new(OutPoint::new(Hash256::hash_of(b"prev"), 0), vec![1, 2, 3])],
+///     vec![TxOut::new(50_000, vec![0x51])],
+/// );
+/// assert!(!tx.txid().is_zero());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Transaction format version.
+    pub version: i32,
+    /// Inputs.
+    pub inputs: Vec<TxIn>,
+    /// Outputs.
+    pub outputs: Vec<TxOut>,
+    /// Earliest block/time the transaction may be mined.
+    pub lock_time: u32,
+}
+
+impl Transaction {
+    /// Creates a version-2 transaction with lock time zero.
+    pub fn new(inputs: Vec<TxIn>, outputs: Vec<TxOut>) -> Self {
+        Transaction {
+            version: 2,
+            inputs,
+            outputs,
+            lock_time: 0,
+        }
+    }
+
+    /// Builds a coinbase transaction whose uniqueness comes from `tag`
+    /// (height and extranonce material in real Bitcoin).
+    pub fn coinbase(tag: u64, reward: u64) -> Self {
+        Transaction::new(
+            vec![TxIn::new(OutPoint::NULL, tag.to_le_bytes().to_vec())],
+            vec![TxOut::new(reward, vec![0x51])],
+        )
+    }
+
+    /// Whether this is a coinbase transaction.
+    pub fn is_coinbase(&self) -> bool {
+        self.inputs.len() == 1 && self.inputs[0].previous_output.is_null()
+    }
+
+    /// The transaction id: double-SHA-256 of the serialization.
+    pub fn txid(&self) -> Hash256 {
+        Hash256::hash_of(&self.encode_to_vec())
+    }
+
+    /// Serialized size in bytes, computed without encoding.
+    pub fn size(&self) -> usize {
+        use crate::wire::varint_len;
+        let ins: usize = self
+            .inputs
+            .iter()
+            .map(|i| 32 + 4 + varint_len(i.script_sig.len() as u64) + i.script_sig.len() + 4)
+            .sum();
+        let outs: usize = self
+            .outputs
+            .iter()
+            .map(|o| 8 + varint_len(o.script_pubkey.len() as u64) + o.script_pubkey.len())
+            .sum();
+        4 + varint_len(self.inputs.len() as u64)
+            + ins
+            + varint_len(self.outputs.len() as u64)
+            + outs
+            + 4
+    }
+
+    /// Total output value in satoshis.
+    pub fn output_value(&self) -> u64 {
+        self.outputs.iter().map(|o| o.value).sum()
+    }
+}
+
+impl Encodable for Transaction {
+    fn encode(&self, w: &mut Writer) {
+        w.u32_le(self.version as u32);
+        w.varint(self.inputs.len() as u64);
+        for i in &self.inputs {
+            i.encode(w);
+        }
+        w.varint(self.outputs.len() as u64);
+        for o in &self.outputs {
+            o.encode(w);
+        }
+        w.u32_le(self.lock_time);
+    }
+}
+
+impl Decodable for Transaction {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let version = r.u32_le("tx.version")? as i32;
+        let n_in = r.length("tx.inputs", MAX_TX_IO)?;
+        let mut inputs = Vec::with_capacity(n_in.min(1024));
+        for _ in 0..n_in {
+            inputs.push(TxIn::decode(r)?);
+        }
+        let n_out = r.length("tx.outputs", MAX_TX_IO)?;
+        let mut outputs = Vec::with_capacity(n_out.min(1024));
+        for _ in 0..n_out {
+            outputs.push(TxOut::decode(r)?);
+        }
+        let lock_time = r.u32_le("tx.lock_time")?;
+        Ok(Transaction {
+            version,
+            inputs,
+            outputs,
+            lock_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tx() -> Transaction {
+        Transaction::new(
+            vec![
+                TxIn::new(OutPoint::new(Hash256::hash_of(b"a"), 0), vec![1, 2, 3]),
+                TxIn::new(OutPoint::new(Hash256::hash_of(b"b"), 3), vec![]),
+            ],
+            vec![
+                TxOut::new(1_000, vec![0x76, 0xa9]),
+                TxOut::new(2_000, vec![0x51]),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let tx = sample_tx();
+        let bytes = tx.encode_to_vec();
+        assert_eq!(Transaction::decode_exact(&bytes).unwrap(), tx);
+    }
+
+    #[test]
+    fn txid_changes_with_content() {
+        let tx = sample_tx();
+        let mut tx2 = tx.clone();
+        tx2.outputs[0].value += 1;
+        assert_ne!(tx.txid(), tx2.txid());
+    }
+
+    #[test]
+    fn txid_is_hash_of_serialization() {
+        let tx = sample_tx();
+        assert_eq!(tx.txid(), Hash256::hash_of(&tx.encode_to_vec()));
+    }
+
+    #[test]
+    fn coinbase_detection() {
+        let cb = Transaction::coinbase(7, 625_000_000);
+        assert!(cb.is_coinbase());
+        assert!(!sample_tx().is_coinbase());
+    }
+
+    #[test]
+    fn coinbase_tags_make_unique_txids() {
+        assert_ne!(
+            Transaction::coinbase(1, 50).txid(),
+            Transaction::coinbase(2, 50).txid()
+        );
+    }
+
+    #[test]
+    fn size_matches_encoding() {
+        let tx = sample_tx();
+        assert_eq!(tx.size(), tx.encode_to_vec().len());
+    }
+
+    #[test]
+    fn output_value_sums() {
+        assert_eq!(sample_tx().output_value(), 3_000);
+    }
+
+    #[test]
+    fn rejects_oversized_script() {
+        let mut w = Writer::new();
+        w.u32_le(2); // version
+        w.varint(1); // one input
+        OutPoint::NULL.encode(&mut w);
+        w.varint(20_000); // oversized script length
+        let err = Transaction::decode_exact(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, DecodeError::OversizedLength { .. }));
+    }
+
+    #[test]
+    fn empty_io_roundtrip() {
+        let tx = Transaction::new(vec![], vec![]);
+        let bytes = tx.encode_to_vec();
+        assert_eq!(Transaction::decode_exact(&bytes).unwrap(), tx);
+    }
+}

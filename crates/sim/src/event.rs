@@ -1,0 +1,364 @@
+//! The discrete-event core: a time-ordered event queue with deterministic
+//! tie-breaking and lazy cancellation.
+//!
+//! Components schedule events (`E` is the caller's event type) at absolute
+//! instants; the driver pops them in `(time, sequence)` order. Two events at
+//! the same instant are delivered in scheduling order, which keeps runs
+//! bit-for-bit reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event, usable with [`EventQueue::cancel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use bitsync_sim::event::EventQueue;
+/// use bitsync_sim::time::{SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_after(SimDuration::from_secs(2), "later");
+/// q.schedule_after(SimDuration::from_secs(1), "sooner");
+/// assert_eq!(q.pop().unwrap().1, "sooner");
+/// assert_eq!(q.now(), SimTime::from_secs(1));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current simulated instant (the timestamp of the last popped
+    /// event, or [`SimTime::ZERO`] before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (including lazily cancelled ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`EventQueue::now`]).
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, event)
+    }
+
+    /// Cancels a scheduled event. Cancellation is lazy: the entry stays in
+    /// the heap but is skipped when popped. Cancelling an already-fired or
+    /// unknown id is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pops the earliest pending event, advancing [`EventQueue::now`] to its
+    /// timestamp. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            debug_assert!(s.at >= self.now, "event queue time went backwards");
+            self.now = s.at;
+            self.popped += 1;
+            return Some((s.at, s.event));
+        }
+        None
+    }
+
+    /// Pops the earliest event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let at = self.heap.peek()?.at;
+            if at > deadline {
+                return None;
+            }
+            let s = self.heap.pop().expect("peeked entry vanished");
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.now = s.at;
+            self.popped += 1;
+            return Some((s.at, s.event));
+        }
+    }
+
+    /// Timestamp of the next pending (non-cancelled) event, if any.
+    ///
+    /// This compacts lazily-cancelled entries at the head of the heap.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(s) = self.heap.peek() {
+            if self.cancelled.contains(&s.seq) {
+                let seq = s.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(s.at);
+        }
+        None
+    }
+
+    /// Advances the clock to `at` without popping an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot advance backwards");
+        self.now = at;
+    }
+}
+
+/// Outcome of a [`run`] handler invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Keep processing events.
+    Continue,
+    /// Stop the run immediately.
+    Halt,
+}
+
+/// Drives `queue` until `deadline`, passing each event to `handler` together
+/// with mutable access to shared `state` and the queue (so handlers can
+/// schedule follow-up events). Returns the number of events processed.
+pub fn run<E, S>(
+    queue: &mut EventQueue<E>,
+    state: &mut S,
+    deadline: SimTime,
+    mut handler: impl FnMut(&mut EventQueue<E>, &mut S, SimTime, E) -> Step,
+) -> u64 {
+    let start = queue.events_processed();
+    while let Some((at, ev)) = queue.pop_until(deadline) {
+        if handler(queue, state, at, ev) == Step::Halt {
+            break;
+        }
+    }
+    if queue.now() < deadline && queue.peek_time().is_none() {
+        queue.advance_to(deadline);
+    }
+    queue.events_processed() - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(4), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "cancelled");
+        q.schedule(SimTime::from_secs(2), "kept");
+        q.cancel(id);
+        assert_eq!(q.pop().unwrap().1, "kept");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), ());
+        q.pop();
+        q.cancel(id); // already fired
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(10), 2);
+        assert_eq!(q.pop_until(SimTime::from_secs(5)).unwrap().1, 1);
+        assert!(q.pop_until(SimTime::from_secs(5)).is_none());
+        // The future event is still there.
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), 0);
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(5), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn run_drives_handler_and_allows_rescheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        let mut count = 0u32;
+        run(
+            &mut q,
+            &mut count,
+            SimTime::from_secs(10),
+            |q, count, at, ()| {
+                *count += 1;
+                if *count < 5 {
+                    q.schedule(at + SimDuration::from_secs(1), ());
+                }
+                Step::Continue
+            },
+        );
+        assert_eq!(count, 5);
+        assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn run_halts_on_request() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_secs(i), i);
+        }
+        let mut seen = 0;
+        let n = run(
+            &mut q,
+            &mut seen,
+            SimTime::MAX,
+            |_, seen, _, _| {
+                *seen += 1;
+                if *seen == 3 {
+                    Step::Halt
+                } else {
+                    Step::Continue
+                }
+            },
+        );
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn events_processed_counts() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.events_processed(), 2);
+    }
+}

@@ -1,0 +1,365 @@
+//! Deterministic randomness for simulations.
+//!
+//! All stochastic choices in `bitsync` flow through [`SimRng`], a seeded
+//! wrapper around [`rand::rngs::StdRng`] with the distribution helpers the
+//! simulation needs (exponential inter-arrival times, Poisson counts, Zipf
+//! tails, weighted choice). The same seed always yields the same event trace.
+
+use crate::time::SimDuration;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, seedable random source for simulation components.
+///
+/// # Examples
+///
+/// ```
+/// use bitsync_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG for a named component.
+    ///
+    /// Forking keeps component streams decoupled: adding draws to one
+    /// component does not perturb another component's sequence.
+    pub fn fork(&mut self, label: &str) -> SimRng {
+        let mut seed = self.inner.gen::<u64>();
+        for (i, b) in label.bytes().enumerate() {
+            seed = seed
+                .rotate_left(7)
+                .wrapping_add(b as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15 ^ (i as u64 + 1));
+        }
+        SimRng::seed_from(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform usize in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    ///
+    /// Models memoryless inter-arrival times (block arrivals, peer
+    /// departures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        assert!(mean > SimDuration::ZERO, "exponential mean must be positive");
+        let u = 1.0 - self.unit(); // in (0, 1]
+        SimDuration::from_secs_f64(-u.ln() * mean.as_secs_f64())
+    }
+
+    /// Poisson-distributed count with the given mean, via inversion for small
+    /// means and a normal approximation above 64.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean >= 0.0 && mean.is_finite(), "poisson mean must be >= 0");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 64.0 {
+            // Normal approximation with continuity correction.
+            let z = self.standard_normal();
+            return (mean + z * mean.sqrt() + 0.5).max(0.0) as u64;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.unit();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// A standard normal draw (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.unit();
+        let u2: f64 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Log-normal draw parameterized by the underlying normal's `mu`/`sigma`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Zipf-like rank draw over `n` items with exponent `s`: returns a rank
+    /// in `[0, n)` where low ranks are heavily favored.
+    ///
+    /// Used for the long tail of the AS hosting distribution (Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf over empty domain");
+        // Rejection-inversion is overkill at our sizes; use cached-free
+        // inverse CDF sampling via the harmonic normalizer approximation.
+        // For the population sizes here (<= ~10k ASes) a direct inverse
+        // transform over partial sums is affordable only once; instead use
+        // the standard approximation: X = floor(u^(-1/(s-1))) for s>1,
+        // clamped, which preserves the heavy tail shape.
+        if s > 1.0 {
+            let u = 1.0 - self.unit();
+            let x = u.powf(-1.0 / (s - 1.0));
+            ((x as usize).saturating_sub(1)).min(n - 1)
+        } else {
+            // s <= 1: fall back to a power-law-ish draw over ranks.
+            let u = self.unit();
+            ((u.powf(2.0) * n as f64) as usize).min(n - 1)
+        }
+    }
+
+    /// Chooses an index according to non-negative `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index over empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        slice.choose(&mut self.inner)
+    }
+
+    /// Shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        slice.shuffle(&mut self.inner);
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k clamped to n).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        rand::seq::index::sample(&mut self.inner, n, k).into_vec()
+    }
+
+    /// Draws from an arbitrary `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.inner)
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut root1 = SimRng::seed_from(1);
+        let mut root2 = SimRng::seed_from(1);
+        let mut a1 = root1.fork("alpha");
+        let mut a2 = root2.fork("alpha");
+        assert_eq!(a1.next_u64(), a2.next_u64());
+
+        let mut root3 = SimRng::seed_from(1);
+        let mut b = root3.fork("beta");
+        assert_ne!(a1.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exp_duration_mean_is_close() {
+        let mut rng = SimRng::seed_from(11);
+        let mean = SimDuration::from_secs(600);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| rng.exp_duration(mean).as_secs_f64())
+            .sum();
+        let observed = total / n as f64;
+        assert!(
+            (observed - 600.0).abs() < 15.0,
+            "observed mean {observed}"
+        );
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = SimRng::seed_from(12);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.poisson(3.0)).sum();
+        let observed = total as f64 / n as f64;
+        assert!((observed - 3.0).abs() < 0.1, "observed {observed}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_branch() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| rng.poisson(200.0)).sum();
+        let observed = total as f64 / n as f64;
+        assert!((observed - 200.0).abs() < 2.0, "observed {observed}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(14);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-5.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from(15);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(rng.weighted_index(&weights), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_rough_proportions() {
+        let mut rng = SimRng::seed_from(16);
+        let weights = [1.0, 3.0];
+        let mut hits = [0u32; 2];
+        for _ in 0..10_000 {
+            hits[rng.weighted_index(&weights)] += 1;
+        }
+        let frac = hits[1] as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn zipf_favors_low_ranks() {
+        let mut rng = SimRng::seed_from(17);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if rng.zipf(1000, 1.5) < 10 {
+                low += 1;
+            }
+        }
+        // A heavy-tailed draw should put the bulk of mass in the head.
+        assert!(low as f64 / n as f64 > 0.5, "head mass {low}/{n}");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = SimRng::seed_from(18);
+        let idx = rng.sample_indices(100, 30);
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_clamps_k() {
+        let mut rng = SimRng::seed_from(19);
+        assert_eq!(rng.sample_indices(5, 50).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::seed_from(1).below(0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from(20);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}
