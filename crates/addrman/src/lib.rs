@@ -263,9 +263,7 @@ impl AddrMan {
         let flat = self.flat(bucket, slot);
         let incumbent = self.new_table[flat];
         if incumbent != EMPTY_SLOT {
-            let terrible = self
-                .info_at(incumbent as usize)
-                .is_terrible(now, &self.cfg);
+            let terrible = self.info_at(incumbent as usize).is_terrible(now, &self.cfg);
             if !terrible {
                 return false; // keep the incumbent, drop the newcomer
             }
@@ -436,12 +434,15 @@ impl AddrMan {
     /// addresses are eligible.
     pub fn get_addr(&self, rng: &mut SimRng, now: i64) -> Vec<TimestampedAddr> {
         let eligible: Vec<&AddrInfo> = if self.cfg.getaddr_from_tried_only {
-            self.tried_members.iter().map(|&i| self.info_at(i)).collect()
+            self.tried_members
+                .iter()
+                .map(|&i| self.info_at(i))
+                .collect()
         } else {
             self.infos.iter().flatten().collect()
         };
-        let want = ((eligible.len() * self.cfg.getaddr_max_pct as usize) / 100)
-            .min(self.cfg.getaddr_max);
+        let want =
+            ((eligible.len() * self.cfg.getaddr_max_pct as usize) / 100).min(self.cfg.getaddr_max);
         let picks = if eligible.is_empty() {
             Vec::new()
         } else {

@@ -2,10 +2,11 @@
 //! refinement of §IV-A1 (how many ASes an adversary must hijack to isolate
 //! half the nodes of each class).
 
+use bitsync_json::{ToJson, Value};
 use std::collections::HashMap;
 
 /// One row of a Table I-style report.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AsShare {
     /// The AS number.
     pub asn: u32,
@@ -13,6 +14,15 @@ pub struct AsShare {
     pub count: usize,
     /// Share of all nodes, in percent.
     pub percent: f64,
+}
+
+impl ToJson for AsShare {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("asn", self.asn)
+            .with("count", self.count)
+            .with("percent", self.percent)
+    }
 }
 
 /// Concentration statistics of a node-to-AS assignment.

@@ -49,7 +49,9 @@ pub fn sparkline_fit(values: &[f64], width: usize) -> String {
     let compact: Vec<f64> = (0..width)
         .map(|i| {
             let start = (i as f64 * bucket) as usize;
-            let end = (((i + 1) as f64 * bucket) as usize).max(start + 1).min(values.len());
+            let end = (((i + 1) as f64 * bucket) as usize)
+                .max(start + 1)
+                .min(values.len());
             values[start..end].iter().sum::<f64>() / (end - start) as f64
         })
         .collect();
@@ -60,7 +62,11 @@ pub fn sparkline_fit(values: &[f64], width: usize) -> String {
 /// bars scaled to `width` characters at the maximum value.
 pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
         let bar_len = if max > 0.0 {

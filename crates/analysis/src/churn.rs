@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn departure_fraction() {
-        let snaps = vec![vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10], vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11]];
+        let snaps = vec![
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        ];
         let s = ChurnSeries::from_snapshots(&snaps);
         assert!((s.departure_fraction() - 0.1).abs() < 1e-9);
     }
@@ -157,11 +160,26 @@ mod tests {
     #[test]
     fn windowed_sync_departures() {
         let deps = vec![
-            Departure { at_secs: 100, synchronized: true },
-            Departure { at_secs: 200, synchronized: false },
-            Departure { at_secs: 650, synchronized: true },
-            Departure { at_secs: 700, synchronized: true },
-            Departure { at_secs: 1500, synchronized: true },
+            Departure {
+                at_secs: 100,
+                synchronized: true,
+            },
+            Departure {
+                at_secs: 200,
+                synchronized: false,
+            },
+            Departure {
+                at_secs: 650,
+                synchronized: true,
+            },
+            Departure {
+                at_secs: 700,
+                synchronized: true,
+            },
+            Departure {
+                at_secs: 1500,
+                synchronized: true,
+            },
         ];
         let windows = synchronized_departures_per_window(&deps, 1800, 600);
         assert_eq!(windows, vec![1, 2, 1]);
@@ -170,7 +188,10 @@ mod tests {
 
     #[test]
     fn events_past_horizon_ignored() {
-        let deps = vec![Departure { at_secs: 5000, synchronized: true }];
+        let deps = vec![Departure {
+            at_secs: 5000,
+            synchronized: true,
+        }];
         let windows = synchronized_departures_per_window(&deps, 1200, 600);
         assert_eq!(windows, vec![0, 0]);
     }

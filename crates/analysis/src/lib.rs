@@ -17,8 +17,8 @@
 //! assert_eq!(rounds_to_cover(10_000, 8.0), 5);
 //! ```
 
-pub mod ascii_plot;
 pub mod as_concentration;
+pub mod ascii_plot;
 pub mod churn;
 pub mod eclipse;
 pub mod kde;

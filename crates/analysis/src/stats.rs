@@ -1,7 +1,9 @@
 //! Summary statistics used across the experiment reports.
 
+use bitsync_json::{ToJson, Value};
+
 /// Basic distribution summary.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -40,6 +42,18 @@ impl Summary {
             max: sorted[n - 1],
             std_dev: var.sqrt(),
         })
+    }
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("n", self.n)
+            .with("mean", self.mean)
+            .with("median", self.median)
+            .with("min", self.min)
+            .with("max", self.max)
+            .with("std_dev", self.std_dev)
     }
 }
 

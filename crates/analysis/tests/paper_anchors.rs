@@ -38,7 +38,9 @@ fn figure1_summary_arithmetic() {
     // Sanity on the 2019/2020 split the paper reports: mean of a mixture
     // moves by the weight of the moved mass.
     // 1050 = 50 × 21 keeps the residue classes balanced.
-    let y2019: Vec<f64> = (0..1050).map(|i| 0.7202 + ((i % 21) as f64 - 10.0) * 0.004).collect();
+    let y2019: Vec<f64> = (0..1050)
+        .map(|i| 0.7202 + ((i % 21) as f64 - 10.0) * 0.004)
+        .collect();
     let s = Summary::of(&y2019).unwrap();
     assert!((s.mean - 0.7202).abs() < 1e-6);
     let kde = Kde::fit(&y2019).unwrap();

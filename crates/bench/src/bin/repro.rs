@@ -1,58 +1,52 @@
-//! `repro` — regenerates every table and figure of the paper.
+//! `repro` — regenerates every table and figure of the paper through the
+//! experiment registry.
 //!
 //! ```text
-//! repro [--seed N] [--scale quick|scaled|paper] [--json DIR] <target>...
+//! repro [--list] [--seed N] [--scale quick|scaled|paper] [--threads N]
+//!       [--json DIR] [--metrics] <target>...
 //!
-//! targets:
-//!   all        everything below
-//!   fig1       synchronization KDE 2019 vs 2020 (+ §IV-D sync churn)
-//!   census     figures 3, 4, 5, 8, 12, 13, Table I, ADDR mix
-//!   fig6       connection stability
-//!   fig7       connection success rate
-//!   relay      figures 10 and 11
-//!   resync     §IV-D restart experiment
-//!   rounds     §IV-B propagation rounds
-//!   ablation   §V proposed refinements
-//!   partition  §IV-A1 routing-attack evaluation
+//! targets: all, or any experiment name from `repro --list`
+//!   (rounds, fig6, fig7, relay, census, fig1, resync, partition, ablation)
 //! ```
+//!
+//! Experiments run independently — `--threads 4` distributes them over
+//! worker threads; the output (text, JSON, metrics) is byte-identical to a
+//! serial run with the same seed.
 
-use bitsync_bench::*;
-use bitsync_core::experiments::{
-    ablation, census, partition, relay, resync, rounds, stability, success_rate, sync_kde,
-};
+use bitsync_core::experiments::{experiment_seed, ExperimentRunner, RunnerConfig, Scale, REGISTRY};
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Scale {
-    Quick,
-    Scaled,
-    Paper,
-}
-
-fn write_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
-    let Some(dir) = dir else { return };
-    let path = std::path::Path::new(dir).join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(body) => {
-            if let Err(e) = std::fs::write(&path, body) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+fn list() {
+    println!("available experiments (run with `repro <name>...` or `repro all`):\n");
+    for ctor in REGISTRY {
+        let exp = ctor();
+        println!("  {:<10} {}", exp.name(), exp.paper_targets().join("; "));
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = 2021u64;
-    let mut scale = Scale::Scaled;
+    let mut cfg = RunnerConfig {
+        scale: Scale::Scaled,
+        seed: 2021,
+        threads: 1,
+    };
     let mut json_dir: Option<String> = None;
+    let mut show_metrics = false;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--list" => {
+                list();
+                return;
+            }
+            "--metrics" => show_metrics = true,
             "--json" => {
                 i += 1;
-                let dir = args.get(i).unwrap_or_else(|| usage("--json needs a directory")).clone();
+                let dir = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--json needs a directory"))
+                    .clone();
                 if let Err(e) = std::fs::create_dir_all(&dir) {
                     eprintln!("error: cannot create {dir}: {e}");
                     std::process::exit(2);
@@ -61,20 +55,27 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                seed = args
+                cfg.seed = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--threads needs a positive number"));
+            }
             "--scale" => {
                 i += 1;
-                scale = match args.get(i).map(String::as_str) {
-                    Some("quick") => Scale::Quick,
-                    Some("scaled") => Scale::Scaled,
-                    Some("paper") => Scale::Paper,
-                    _ => usage("--scale must be quick|scaled|paper"),
-                };
+                cfg.scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage("--scale must be quick|scaled|paper"));
             }
+            t if t.starts_with("--") => usage(&format!("unknown flag '{t}'")),
             t => targets.push(t.to_string()),
         }
         i += 1;
@@ -82,117 +83,50 @@ fn main() {
     if targets.is_empty() {
         usage("no target given");
     }
-    let all = targets.iter().any(|t| t == "all");
-    let want = |name: &str| all || targets.iter().any(|t| t == name);
 
-    println!("bitsync repro — seed {seed}, scale {scale:?}\n");
+    let runner = ExperimentRunner::new(cfg);
+    let reports = match runner.run(&targets) {
+        Ok(reports) => reports,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
 
-    if want("rounds") {
-        let r = rounds::run(seed, if scale == Scale::Quick { 20 } else { 60 });
-        write_json(&json_dir, "rounds", &r);
-        print!("{}", render_rounds(&r));
+    println!(
+        "bitsync repro — seed {}, scale {}, {} thread{}\n",
+        cfg.seed,
+        cfg.scale.name(),
+        cfg.threads,
+        if cfg.threads == 1 { "" } else { "s" }
+    );
+
+    for report in &reports {
+        debug_assert_eq!(report.seed, experiment_seed(cfg.seed, report.name));
+        if let Some(text) = &report.rendered {
+            print!("{text}");
+        }
+        if show_metrics {
+            if let Some(metrics) = report.json.get("metrics") {
+                println!("metrics [{}]:", report.name);
+                println!("{}", metrics.to_string_pretty());
+            }
+        }
         println!();
-    }
-    if want("fig6") {
-        let cfg = match scale {
-            Scale::Quick => stability::StabilityConfig::quick(seed),
-            _ => stability::StabilityConfig::paper(seed),
-        };
-        let r = stability::run(&cfg);
-        write_json(&json_dir, "fig6_stability", &r);
-        print!("{}", render_fig6(&r));
-        println!();
-    }
-    if want("fig7") {
-        let cfg = match scale {
-            Scale::Quick => success_rate::SuccessRateConfig::quick(seed),
-            _ => success_rate::SuccessRateConfig::paper(seed),
-        };
-        let r = success_rate::run(&cfg);
-        write_json(&json_dir, "fig7_success_rate", &r);
-        print!("{}", render_fig7(&r));
-        println!();
-    }
-    if want("relay") {
-        let cfg = match scale {
-            Scale::Quick => relay::RelayConfig::quick(seed),
-            _ => relay::RelayConfig::paper(seed),
-        };
-        let r = relay::run(&cfg);
-        write_json(&json_dir, "fig10_11_relay", &r);
-        print!("{}", render_fig10_11(&r));
-        println!();
-    }
-    if want("census") {
-        let cfg = match scale {
-            Scale::Quick => census::CensusExperimentConfig::quick(seed),
-            Scale::Scaled => census::CensusExperimentConfig::one_tenth(seed),
-            Scale::Paper => census::CensusExperimentConfig::paper(seed),
-        };
-        let c = census::run(&cfg);
-        write_json(&json_dir, "table1_as", &c.as_report);
-        print!("{}", render_fig3(&c));
-        println!();
-        print!("{}", render_fig4(&c));
-        println!();
-        print!("{}", render_fig5(&c));
-        println!();
-        print!("{}", render_table1(&c));
-        println!();
-        print!("{}", render_fig8(&c));
-        println!();
-        print!("{}", render_fig12_13(&c));
-        println!();
-        print!("{}", render_addr_mix(&c));
-        println!();
-    }
-    if want("fig1") {
-        let cfg = match scale {
-            Scale::Quick => sync_kde::SyncScenarioConfig::quick(seed),
-            _ => sync_kde::SyncScenarioConfig::scaled(seed),
-        };
-        let r = sync_kde::run(&cfg);
-        write_json(&json_dir, "fig1_sync", &r);
-        print!("{}", render_fig1(&r));
-        println!();
-    }
-    if want("resync") {
-        let cfg = match scale {
-            Scale::Quick => resync::ResyncConfig::quick(seed),
-            _ => resync::ResyncConfig::paper(seed),
-        };
-        let r = resync::run(&cfg);
-        write_json(&json_dir, "resync", &r);
-        print!("{}", render_resync(&r));
-        println!();
-    }
-    if want("partition") {
-        let cfg = match scale {
-            Scale::Quick => partition::PartitionConfig::quick(seed),
-            _ => partition::PartitionConfig::scaled(seed),
-        };
-        let r = partition::run(&cfg);
-        write_json(&json_dir, "partition", &r);
-        print!("{}", render_partition(&r));
-        println!();
-    }
-    if want("ablation") {
-        let cfg = match scale {
-            Scale::Quick => ablation::AblationConfig::quick(seed),
-            _ => ablation::AblationConfig::scaled(seed),
-        };
-        let r = ablation::run(&cfg);
-        write_json(&json_dir, "ablation", &r);
-        print!("{}", render_ablation(&r));
-        println!();
+        if let Some(dir) = &json_dir {
+            let path = std::path::Path::new(dir).join(format!("{}.json", report.artifact));
+            if let Err(e) = std::fs::write(&path, report.json.to_string_pretty()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
     }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [--seed N] [--scale quick|scaled|paper] \
-         [--json DIR] <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>..."
+        "usage: repro [--list] [--seed N] [--scale quick|scaled|paper] [--threads N] \
+         [--json DIR] [--metrics] <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>..."
     );
     std::process::exit(2);
 }

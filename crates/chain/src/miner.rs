@@ -52,7 +52,8 @@ impl TxGenerator {
     /// inputs/outputs drawn (1–3 in, 1–2 out).
     pub fn next_tx(&mut self, rng: &mut SimRng) -> Transaction {
         self.counter += 1;
-        let uniq = Hash256::hash_of(&[self.namespace.to_le_bytes(), self.counter.to_le_bytes()].concat());
+        let uniq =
+            Hash256::hash_of(&[self.namespace.to_le_bytes(), self.counter.to_le_bytes()].concat());
         let n_in = 1 + rng.index(3);
         let n_out = 1 + rng.index(2);
         let inputs = (0..n_in)
@@ -98,15 +99,12 @@ impl Miner {
     /// Mines a block on `prev` at wall-clock `time`, taking transactions
     /// from the mempool (which is left untouched — the caller removes
     /// confirmed transactions when it connects the block).
-    pub fn mine(
-        &mut self,
-        prev: Hash256,
-        time: u32,
-        mempool: &Mempool,
-        rng: &mut SimRng,
-    ) -> Block {
+    pub fn mine(&mut self, prev: Hash256, time: u32, mempool: &Mempool, rng: &mut SimRng) -> Block {
         self.mined += 1;
-        let coinbase_tag = self.namespace.wrapping_mul(1_000_000_007).wrapping_add(self.mined);
+        let coinbase_tag = self
+            .namespace
+            .wrapping_mul(1_000_000_007)
+            .wrapping_add(self.mined);
         let mut txs = vec![Transaction::coinbase(coinbase_tag, BLOCK_SUBSIDY)];
         txs.extend(mempool.select_for_block(self.max_block_txs.saturating_sub(1)));
         Block::assemble(0x2000_0000, prev, time, rng.next_u64() as u32, txs)

@@ -356,9 +356,27 @@ mod tests {
         let mut c = ChainState::with_genesis();
         let main = extend(&mut c, 2, 1);
         // Fork from genesis with 3 blocks (longer).
-        let f1 = Block::assemble(2, c.genesis_hash(), 9, 1, vec![Transaction::coinbase(91, 50)]);
-        let f2 = Block::assemble(2, f1.block_hash(), 9, 2, vec![Transaction::coinbase(92, 50)]);
-        let f3 = Block::assemble(2, f2.block_hash(), 9, 3, vec![Transaction::coinbase(93, 50)]);
+        let f1 = Block::assemble(
+            2,
+            c.genesis_hash(),
+            9,
+            1,
+            vec![Transaction::coinbase(91, 50)],
+        );
+        let f2 = Block::assemble(
+            2,
+            f1.block_hash(),
+            9,
+            2,
+            vec![Transaction::coinbase(92, 50)],
+        );
+        let f3 = Block::assemble(
+            2,
+            f2.block_hash(),
+            9,
+            3,
+            vec![Transaction::coinbase(93, 50)],
+        );
         c.connect_block(&f1).unwrap();
         assert_eq!(c.tip_hash(), main[1].block_hash()); // still main
         c.connect_block(&f2).unwrap();

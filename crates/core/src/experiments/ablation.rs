@@ -12,16 +12,18 @@
 //! Metrics per arm: outgoing-connection success rate, mean effective
 //! outdegree, mean block relay delay, and mean synchronization fraction.
 
+use crate::experiments::registry::{Experiment, Scale};
 use bitsync_addrman::AddrManConfig;
 use bitsync_analysis::Summary;
+use bitsync_json::{ToJson, Value};
 use bitsync_net::churn::ChurnConfig;
 use bitsync_node::config::{NodeConfig, RelayPolicy};
 use bitsync_node::world::{World, WorldConfig};
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One ablation arm.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Arm {
     /// Unmodified Bitcoin Core 0.20.
     Baseline,
@@ -129,7 +131,7 @@ impl AblationConfig {
 }
 
 /// One arm's measured outcomes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ArmResult {
     /// Which arm.
     pub arm: Arm,
@@ -143,22 +145,47 @@ pub struct ArmResult {
     pub mean_sync_fraction: f64,
 }
 
+impl ToJson for ArmResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("arm", format!("{:?}", self.arm))
+            .with("connection_success_rate", self.connection_success_rate)
+            .with("mean_outdegree", self.mean_outdegree)
+            .with("mean_block_relay_secs", self.mean_block_relay_secs)
+            .with("mean_sync_fraction", self.mean_sync_fraction)
+    }
+}
+
 /// The full ablation output.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AblationResult {
     /// One result per arm, in [`Arm::all`] order.
     pub arms: Vec<ArmResult>,
 }
 
+impl ToJson for AblationResult {
+    fn to_json(&self) -> Value {
+        Value::object().with("arms", self.arms.iter().collect::<Vec<_>>())
+    }
+}
+
 impl AblationResult {
     /// Looks up one arm.
     pub fn arm(&self, arm: Arm) -> &ArmResult {
-        self.arms.iter().find(|a| a.arm == arm).expect("arm present")
+        self.arms
+            .iter()
+            .find(|a| a.arm == arm)
+            .expect("arm present")
     }
 }
 
 /// Runs one arm.
 pub fn run_arm(cfg: &AblationConfig, arm: Arm) -> ArmResult {
+    run_arm_recorded(cfg, arm, &Recorder::new())
+}
+
+/// [`run_arm`] with world metrics reported into `rec`.
+pub fn run_arm_recorded(cfg: &AblationConfig, arm: Arm, rec: &Recorder) -> ArmResult {
     let mut churn = cfg.churn;
     churn.mean_lifetime =
         SimDuration::from_secs_f64(churn.mean_lifetime.as_secs_f64() / cfg.churn_speedup);
@@ -179,6 +206,7 @@ pub fn run_arm(cfg: &AblationConfig, arm: Arm) -> ArmResult {
         instrument: Some(0),
         ..WorldConfig::default()
     });
+    world.attach_metrics(rec.clone());
 
     let warmup = cfg.warmup;
     world.run_until(SimTime::ZERO + warmup);
@@ -229,8 +257,51 @@ pub fn run_arm(cfg: &AblationConfig, arm: Arm) -> ArmResult {
 
 /// Runs every arm with the same seed.
 pub fn run(cfg: &AblationConfig) -> AblationResult {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with every arm's world reporting into `rec`.
+pub fn run_recorded(cfg: &AblationConfig, rec: &Recorder) -> AblationResult {
     AblationResult {
-        arms: Arm::all().iter().map(|&a| run_arm(cfg, a)).collect(),
+        arms: Arm::all()
+            .iter()
+            .map(|&a| run_arm_recorded(cfg, a, rec))
+            .collect(),
+    }
+}
+
+/// Registry entry for the §V refinement ablation.
+#[derive(Default)]
+pub struct AblationExperiment {
+    cfg: Option<AblationConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for AblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &["§V proposed refinements"]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => AblationConfig::quick(seed),
+            _ => AblationConfig::scaled(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_recorded(cfg, rec);
+        self.rendered = Some(crate::report::render_ablation(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
     }
 }
 

@@ -2,13 +2,15 @@
 //! campaign, producing Figures 3, 4, 5, 8, 12, 13, Table I, and the §IV-B
 //! ADDR-composition split.
 
+use crate::experiments::registry::{Experiment, Scale};
 use bitsync_analysis::as_concentration::AsConcentration;
 use bitsync_crawler::campaign::{Campaign, CampaignResult};
 use bitsync_crawler::census::{CensusConfig, CensusNetwork};
 use bitsync_crawler::churn_matrix::ChurnMatrix;
+use bitsync_json::{ToJson, Value};
 use bitsync_protocol::addr::NetAddr;
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::rng::SimRng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Experiment parameters.
@@ -56,7 +58,7 @@ impl CensusExperimentConfig {
 }
 
 /// Table I reproduction: top ASes per class and the hijack metric.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AsReport {
     /// (ASN, percent) for the top 20 reachable-hosting ASes.
     pub top_reachable: Vec<(u32, f64)>,
@@ -68,6 +70,30 @@ pub struct AsReport {
     pub distinct: (usize, usize, usize),
     /// ASes needed to cover 50% of each class (paper: 25 / 36 / 24).
     pub to_cover_half: (usize, usize, usize),
+}
+
+impl ToJson for AsReport {
+    fn to_json(&self) -> Value {
+        let shares = |top: &[(u32, f64)]| -> Value {
+            Value::Array(
+                top.iter()
+                    .map(|&(asn, pct)| Value::object().with("asn", asn).with("percent", pct))
+                    .collect(),
+            )
+        };
+        let triple = |(a, b, c): (usize, usize, usize)| -> Value {
+            Value::object()
+                .with("reachable", a)
+                .with("unreachable", b)
+                .with("responsive", c)
+        };
+        Value::object()
+            .with("top_reachable", shares(&self.top_reachable))
+            .with("top_unreachable", shares(&self.top_unreachable))
+            .with("top_responsive", shares(&self.top_responsive))
+            .with("distinct", triple(self.distinct))
+            .with("to_cover_half", triple(self.to_cover_half))
+    }
 }
 
 /// The full census experiment output.
@@ -100,11 +126,49 @@ impl CensusExperimentResult {
     }
 }
 
+impl ToJson for CensusExperimentResult {
+    /// A digest of the campaign: the ground-truth `network` and the raw
+    /// per-address aggregates stay in memory only; the serialized view keeps
+    /// the daily series, Table I, and the headline ratios.
+    fn to_json(&self) -> Value {
+        let last = self.campaign.days.last();
+        Value::object()
+            .with("days", self.campaign.days.len())
+            .with("as_report", &self.as_report)
+            .with("unreachable_ratio", self.unreachable_ratio())
+            .with("responsive_fraction", self.responsive_fraction())
+            .with(
+                "reachable_addr_fraction",
+                self.campaign.reachable_addr_fraction(),
+            )
+            .with(
+                "unreachable_cumulative",
+                last.map(|d| d.unreachable_cumulative),
+            )
+            .with(
+                "responsive_cumulative",
+                last.map(|d| d.responsive_cumulative),
+            )
+            .with("connected_unique", self.campaign.all_connected.len())
+            .with("malicious_detected", self.malicious.len())
+            .with(
+                "malicious_top_served",
+                self.malicious.iter().map(|&(_, n)| n).collect::<Vec<_>>(),
+            )
+            .with("matrix_always_present", self.matrix.always_present())
+    }
+}
+
 /// Runs the census experiment.
 pub fn run(cfg: &CensusExperimentConfig) -> CensusExperimentResult {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with crawler and probe metrics reported into `rec`.
+pub fn run_recorded(cfg: &CensusExperimentConfig, rec: &Recorder) -> CensusExperimentResult {
     let mut rng = SimRng::seed_from(cfg.seed);
     let network = CensusNetwork::generate(cfg.census.clone(), &mut rng);
-    let campaign = cfg.campaign.run(&network, &mut rng);
+    let campaign = cfg.campaign.run_recorded(&network, &mut rng, Some(rec));
     let matrix = ChurnMatrix::build(&network, 1.0);
 
     // Table I: classify by ground truth. Responsive nodes are the
@@ -151,6 +215,50 @@ pub fn run(cfg: &CensusExperimentConfig) -> CensusExperimentResult {
         matrix,
         as_report,
         malicious,
+    }
+}
+
+/// Registry entry for the 60-day measurement campaign.
+#[derive(Default)]
+pub struct CensusExperiment {
+    cfg: Option<CensusExperimentConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for CensusExperiment {
+    fn name(&self) -> &'static str {
+        "census"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &[
+            "Fig. 3 feed composition",
+            "Fig. 4 unreachable census",
+            "Fig. 5 responsive census",
+            "Fig. 8 ADDR flooders",
+            "Figs. 12/13 churn matrix",
+            "Table I AS concentration",
+            "§IV-B ADDR mix",
+        ]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => CensusExperimentConfig::quick(seed),
+            Scale::Scaled => CensusExperimentConfig::one_tenth(seed),
+            Scale::Paper => CensusExperimentConfig::paper(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_recorded(cfg, rec);
+        self.rendered = Some(crate::report::render_census(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
     }
 }
 

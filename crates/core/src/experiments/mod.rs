@@ -18,9 +18,14 @@
 pub mod ablation;
 pub mod census;
 pub mod partition;
+pub mod registry;
 pub mod relay;
 pub mod resync;
 pub mod rounds;
+pub mod runner;
 pub mod stability;
 pub mod success_rate;
 pub mod sync_kde;
+
+pub use registry::{experiment_names, experiment_seed, Experiment, Scale, REGISTRY};
+pub use runner::{ExperimentReport, ExperimentRunner, RunnerConfig};

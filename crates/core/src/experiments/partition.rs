@@ -8,11 +8,13 @@
 //! simulated topology: apply the hijack, keep mining on the majority side,
 //! and measure how far behind the isolated side falls.
 
+use crate::experiments::registry::{Experiment, Scale};
 use bitsync_analysis::as_concentration::AsConcentration;
 use bitsync_analysis::routing::plan_hijack;
+use bitsync_json::{ToJson, Value};
 use bitsync_node::world::{World, WorldConfig};
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -60,7 +62,7 @@ impl PartitionConfig {
 }
 
 /// Partition-attack outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PartitionResult {
     /// ASes hijacked.
     pub hijacked_asns: Vec<u32>,
@@ -79,8 +81,26 @@ pub struct PartitionResult {
     pub blocks_during: u64,
 }
 
+impl ToJson for PartitionResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("hijacked_asns", self.hijacked_asns.clone())
+            .with("isolated_nodes", self.isolated_nodes)
+            .with("isolated_fraction", self.isolated_fraction)
+            .with("sync_before", self.sync_before)
+            .with("sync_during", self.sync_during)
+            .with("sync_after", self.sync_after)
+            .with("blocks_during", self.blocks_during)
+    }
+}
+
 /// Runs the partition attack.
 pub fn run(cfg: &PartitionConfig) -> PartitionResult {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with world metrics reported into `rec`.
+pub fn run_recorded(cfg: &PartitionConfig, rec: &Recorder) -> PartitionResult {
     let mut world = World::new(WorldConfig {
         seed: cfg.seed,
         n_reachable: cfg.n_reachable,
@@ -95,6 +115,7 @@ pub fn run(cfg: &PartitionConfig) -> PartitionResult {
         connection_mean_lifetime: Some(SimDuration::from_mins(8)),
         ..WorldConfig::default()
     });
+    world.attach_metrics(rec.clone());
     world.run_until(SimTime::ZERO + cfg.warmup);
     let sync_before = world.sync_fraction();
 
@@ -128,6 +149,41 @@ pub fn run(cfg: &PartitionConfig) -> PartitionResult {
         sync_during,
         sync_after,
         blocks_during,
+    }
+}
+
+/// Registry entry for the §IV-A1 routing-attack experiment.
+#[derive(Default)]
+pub struct PartitionExperiment {
+    cfg: Option<PartitionConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for PartitionExperiment {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &["§IV-A1 routing attack on the live topology"]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => PartitionConfig::quick(seed),
+            _ => PartitionConfig::scaled(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_recorded(cfg, rec);
+        self.rendered = Some(crate::report::render_partition(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
     }
 }
 

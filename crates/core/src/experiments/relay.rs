@@ -7,12 +7,14 @@
 //! max 8 s. The delay is produced by the round-robin send loop serializing
 //! on one socket-writer budget (Figure 9).
 
+use crate::experiments::registry::{Experiment, Scale};
 use bitsync_analysis::Summary;
+use bitsync_json::{ToJson, Value};
 use bitsync_node::config::NodeConfig;
 use bitsync_node::world::{World, WorldConfig};
 use bitsync_node::NodeId;
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -68,7 +70,7 @@ impl RelayConfig {
 }
 
 /// Figures 10/11 output.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RelayResult {
     /// Per-block relay delays (seconds, 1-second quantized).
     pub block_delays: Vec<u64>,
@@ -79,7 +81,13 @@ pub struct RelayResult {
 impl RelayResult {
     /// Summary of the block delays (paper: mean 1.39 s, max 17 s).
     pub fn block_summary(&self) -> Option<Summary> {
-        Summary::of(&self.block_delays.iter().map(|&d| d as f64).collect::<Vec<_>>())
+        Summary::of(
+            &self
+                .block_delays
+                .iter()
+                .map(|&d| d as f64)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Summary of the transaction delays (paper: mean 0.45 s, max 8 s).
@@ -88,8 +96,30 @@ impl RelayResult {
     }
 }
 
+impl ToJson for RelayResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("block_delays", self.block_delays.clone())
+            .with("tx_delays", self.tx_delays.clone())
+            .with(
+                "block_summary",
+                self.block_summary().as_ref().map(ToJson::to_json),
+            )
+            .with(
+                "tx_summary",
+                self.tx_summary().as_ref().map(ToJson::to_json),
+            )
+    }
+}
+
 /// Runs the relay-delay experiment on a forced 8-out/17-in star topology.
 pub fn run(cfg: &RelayConfig) -> RelayResult {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with world metrics — including the per-hop relay-delay
+/// histogram — reported into `rec`.
+pub fn run_recorded(cfg: &RelayConfig, rec: &Recorder) -> RelayResult {
     let n_nodes = 1 + cfg.n_outbound + cfg.n_inbound;
     let mut node_cfg = cfg.node_cfg.clone();
     node_cfg.upload_bandwidth = cfg.upload_bandwidth;
@@ -109,6 +139,7 @@ pub fn run(cfg: &RelayConfig) -> RelayResult {
         instrument: Some(0),
         ..WorldConfig::default()
     });
+    world.attach_metrics(rec.clone());
     let hub = NodeId(0);
     for i in 0..cfg.n_outbound {
         world.force_connect(hub, NodeId(1 + i as u32));
@@ -132,6 +163,45 @@ pub fn run(cfg: &RelayConfig) -> RelayResult {
     RelayResult {
         block_delays,
         tx_delays,
+    }
+}
+
+/// Registry entry for the Figures 10/11 relay-delay experiment.
+#[derive(Default)]
+pub struct RelayExperiment {
+    cfg: Option<RelayConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for RelayExperiment {
+    fn name(&self) -> &'static str {
+        "relay"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig10_11_relay"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &["Fig. 10 block relay delay", "Fig. 11 tx relay delay"]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => RelayConfig::quick(seed),
+            _ => RelayConfig::paper(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_recorded(cfg, rec);
+        self.rendered = Some(crate::report::render_fig10_11(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
     }
 }
 

@@ -7,10 +7,12 @@
 //! far lighter than Bitcoin's, so the absolute number is smaller; the shape
 //! — connection establishment dominating, then tip catch-up — is preserved.
 
+use crate::experiments::registry::{Experiment, Scale};
+use bitsync_json::{ToJson, Value};
 use bitsync_node::world::{World, WorldConfig};
 use bitsync_node::NodeId;
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -59,7 +61,7 @@ impl ResyncConfig {
 }
 
 /// Restart-experiment output.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ResyncResult {
     /// Seconds from rejoin until the first outbound connection completed.
     pub first_connection_secs: Option<u64>,
@@ -75,8 +77,23 @@ pub struct ResyncResult {
     pub blocks_behind: u64,
 }
 
+impl ToJson for ResyncResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("first_connection_secs", self.first_connection_secs)
+            .with("tip_caught_up_secs", self.tip_caught_up_secs)
+            .with("relay_ready_secs", self.relay_ready_secs)
+            .with("blocks_behind", self.blocks_behind)
+    }
+}
+
 /// Runs the restart experiment.
 pub fn run(cfg: &ResyncConfig) -> ResyncResult {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with world metrics reported into `rec`.
+pub fn run_recorded(cfg: &ResyncConfig, rec: &Recorder) -> ResyncResult {
     let mut world = World::new(WorldConfig {
         seed: cfg.seed,
         n_reachable: cfg.n_reachable,
@@ -90,6 +107,7 @@ pub fn run(cfg: &ResyncConfig) -> ResyncResult {
         // mechanical connection/catch-up time is reported separately.
         ..WorldConfig::default()
     });
+    world.attach_metrics(rec.clone());
     let observed = NodeId(0);
     world.run_until(SimTime::ZERO + cfg.warmup);
     world.force_depart(observed);
@@ -130,6 +148,41 @@ pub fn run(cfg: &ResyncConfig) -> ResyncResult {
         tip_caught_up_secs,
         relay_ready_secs,
         blocks_behind,
+    }
+}
+
+/// Registry entry for the §IV-D restart experiment.
+#[derive(Default)]
+pub struct ResyncExperiment {
+    cfg: Option<ResyncConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for ResyncExperiment {
+    fn name(&self) -> &'static str {
+        "resync"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &["§IV-D restart (11 min 14 s)"]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => ResyncConfig::quick(seed),
+            _ => ResyncConfig::paper(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_recorded(cfg, rec);
+        self.rendered = Some(crate::report::render_resync(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
     }
 }
 

@@ -3,13 +3,15 @@
 //! and 14 at outdegree 2; the simulation measures the actual hop count a
 //! block needs to blanket a scaled network.
 
+use crate::experiments::registry::{Experiment, Scale};
 use bitsync_analysis::propagation::{effective_outdegree, rounds_to_cover};
+use bitsync_json::{ToJson, Value};
 use bitsync_node::world::{World, WorldConfig};
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Output of the propagation analysis.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RoundsResult {
     /// Closed-form rounds at outdegree 8 over 10K nodes (paper: 5).
     pub rounds_at_8: u32,
@@ -26,8 +28,25 @@ pub struct RoundsResult {
     pub sim_nodes: usize,
 }
 
+impl ToJson for RoundsResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("rounds_at_8", self.rounds_at_8)
+            .with("rounds_at_2", self.rounds_at_2)
+            .with("effective_outdegree", self.effective_outdegree)
+            .with("rounds_at_effective", self.rounds_at_effective)
+            .with("sim_full_coverage_secs", self.sim_full_coverage_secs)
+            .with("sim_nodes", self.sim_nodes)
+    }
+}
+
 /// Runs the closed form plus a simulation cross-check.
 pub fn run(seed: u64, sim_nodes: usize) -> RoundsResult {
+    run_recorded(seed, sim_nodes, &Recorder::new())
+}
+
+/// [`run`] with the cross-check simulator reporting into `rec`.
+pub fn run_recorded(seed: u64, sim_nodes: usize, rec: &Recorder) -> RoundsResult {
     let eff = effective_outdegree(8.0, 0.112, 5.0, 0.5, 240.0);
     let mut result = RoundsResult {
         rounds_at_8: rounds_to_cover(10_000, 8.0),
@@ -49,6 +68,7 @@ pub fn run(seed: u64, sim_nodes: usize) -> RoundsResult {
         block_interval: Some(SimDuration::from_secs(600)),
         ..WorldConfig::default()
     });
+    world.attach_metrics(rec.clone());
     // Let the mesh form, then wait for a block and watch coverage.
     world.run_until(SimTime::from_secs(300));
     let h0 = world.best_height();
@@ -63,11 +83,7 @@ pub fn run(seed: u64, sim_nodes: usize) -> RoundsResult {
             let covered = world
                 .online_ids()
                 .iter()
-                .filter(|id| {
-                    world
-                        .node(**id)
-                        .is_some_and(|n| n.chain.height() >= target)
-                })
+                .filter(|id| world.node(**id).is_some_and(|n| n.chain.height() >= target))
                 .count();
             if covered == world.online_ids().len() {
                 result.sim_full_coverage_secs = Some(s - m);
@@ -76,6 +92,39 @@ pub fn run(seed: u64, sim_nodes: usize) -> RoundsResult {
         }
     }
     result
+}
+
+/// Registry entry for the §IV-B propagation-rounds analysis.
+#[derive(Default)]
+pub struct RoundsExperiment {
+    cfg: Option<(u64, usize)>,
+    rendered: Option<String>,
+}
+
+impl Experiment for RoundsExperiment {
+    fn name(&self) -> &'static str {
+        "rounds"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &["§IV-B propagation rounds (8^5 vs 2^14)"]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        let sim_nodes = if scale == Scale::Quick { 20 } else { 60 };
+        self.cfg = Some((seed, sim_nodes));
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let (seed, sim_nodes) = self.cfg.expect("configure() before run()");
+        let r = run_recorded(seed, sim_nodes, rec);
+        self.rendered = Some(crate::report::render_rounds(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
+    }
 }
 
 #[cfg(test)]

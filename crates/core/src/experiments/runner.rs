@@ -1,0 +1,208 @@
+//! The parallel experiment runner.
+//!
+//! Experiments are independent — each owns its world, its RNG stream, and
+//! its metrics recorder — so the runner distributes them over plain worker
+//! threads pulling from a shared index. Reports come back in registry
+//! order and are byte-identical whatever the thread count.
+
+use super::registry::{experiment_seed, Scale, REGISTRY};
+use bitsync_json::Value;
+use bitsync_sim::metrics::Recorder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runner settings.
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerConfig {
+    /// World scale for every experiment.
+    pub scale: Scale,
+    /// Global seed; each experiment derives its own via
+    /// [`experiment_seed`].
+    pub seed: u64,
+    /// Worker threads (clamped to at least 1; 1 means fully serial).
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            scale: Scale::Scaled,
+            seed: 2021,
+            threads: 1,
+        }
+    }
+}
+
+/// One finished experiment.
+pub struct ExperimentReport {
+    /// Experiment name (CLI target).
+    pub name: &'static str,
+    /// Artifact basename for `--json` output.
+    pub artifact: &'static str,
+    /// Paper figures/tables reproduced.
+    pub paper_targets: &'static [&'static str],
+    /// The derived per-experiment seed actually used.
+    pub seed: u64,
+    /// The full JSON envelope: experiment, paper_targets, scale, seed,
+    /// result, metrics.
+    pub json: Value,
+    /// Paper-style text report.
+    pub rendered: Option<String>,
+}
+
+/// Executes registry experiments across worker threads.
+pub struct ExperimentRunner {
+    cfg: RunnerConfig,
+}
+
+impl ExperimentRunner {
+    /// A runner with the given settings.
+    pub fn new(cfg: RunnerConfig) -> ExperimentRunner {
+        ExperimentRunner { cfg }
+    }
+
+    /// Resolves CLI targets to registry indices: `all` expands to the full
+    /// registry, duplicates collapse to the first occurrence, unknown names
+    /// produce an error listing the valid targets.
+    pub fn resolve(targets: &[String]) -> Result<Vec<usize>, String> {
+        let names: Vec<&'static str> = REGISTRY.iter().map(|ctor| ctor().name()).collect();
+        let mut indices = Vec::new();
+        for t in targets {
+            if t == "all" {
+                for i in 0..names.len() {
+                    if !indices.contains(&i) {
+                        indices.push(i);
+                    }
+                }
+                continue;
+            }
+            match names.iter().position(|n| n == t) {
+                Some(i) => {
+                    if !indices.contains(&i) {
+                        indices.push(i);
+                    }
+                }
+                None => {
+                    return Err(format!(
+                        "unknown target '{t}' (valid: all, {})",
+                        names.join(", ")
+                    ))
+                }
+            }
+        }
+        Ok(indices)
+    }
+
+    /// Runs every registered experiment.
+    pub fn run_all(&self) -> Vec<ExperimentReport> {
+        self.run_indices(&(0..REGISTRY.len()).collect::<Vec<_>>())
+    }
+
+    /// Runs the given targets (see [`ExperimentRunner::resolve`]).
+    pub fn run(&self, targets: &[String]) -> Result<Vec<ExperimentReport>, String> {
+        Ok(self.run_indices(&Self::resolve(targets)?))
+    }
+
+    fn run_indices(&self, indices: &[usize]) -> Vec<ExperimentReport> {
+        let threads = self.cfg.threads.max(1).min(indices.len().max(1));
+        if threads <= 1 {
+            return indices.iter().map(|&i| self.run_one(i)).collect();
+        }
+        // Work-stealing over a shared cursor; each slot collects its own
+        // report so output order stays registry order.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ExperimentReport>>> =
+            indices.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&idx) = indices.get(k) else { break };
+                    let report = self.run_one(idx);
+                    *slots[k].lock().expect("slot poisoned") = Some(report);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot poisoned")
+                    .expect("worker finished every claimed slot")
+            })
+            .collect()
+    }
+
+    fn run_one(&self, idx: usize) -> ExperimentReport {
+        let mut exp = REGISTRY[idx]();
+        let seed = experiment_seed(self.cfg.seed, exp.name());
+        exp.configure(self.cfg.scale, seed);
+        let mut rec = Recorder::new();
+        let result = exp.run(&mut rec);
+        let json = Value::object()
+            .with("experiment", exp.name())
+            .with("paper_targets", exp.paper_targets().to_vec())
+            .with("scale", self.cfg.scale.name())
+            .with("seed", seed)
+            .with("result", result)
+            .with("metrics", rec.to_json());
+        ExperimentReport {
+            name: exp.name(),
+            artifact: exp.artifact(),
+            paper_targets: exp.paper_targets(),
+            seed,
+            json,
+            rendered: exp.rendered(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(threads: usize) -> ExperimentRunner {
+        ExperimentRunner::new(RunnerConfig {
+            scale: Scale::Quick,
+            seed: 7,
+            threads,
+        })
+    }
+
+    #[test]
+    fn resolve_dedupes_and_rejects_unknown() {
+        let idx = ExperimentRunner::resolve(&[
+            "relay".to_string(),
+            "rounds".to_string(),
+            "relay".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(idx.len(), 2);
+        let err = ExperimentRunner::resolve(&["nope".to_string()]).unwrap_err();
+        assert!(err.contains("unknown target 'nope'"), "{err}");
+        assert!(err.contains("relay"), "{err}");
+    }
+
+    #[test]
+    fn all_expands_to_whole_registry_once() {
+        let idx = ExperimentRunner::resolve(&["relay".to_string(), "all".to_string()]).unwrap();
+        assert_eq!(idx.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn report_envelope_has_metrics_section() {
+        let reports = quick(1).run(&["rounds".to_string()]).unwrap();
+        assert_eq!(reports.len(), 1);
+        let json = &reports[0].json;
+        assert!(json.get("result").is_some());
+        let metrics = json.get("metrics").expect("metrics section");
+        let counters = metrics.get("counters").expect("counters");
+        assert!(
+            counters
+                .get("sim.events_processed")
+                .and_then(Value::as_u64)
+                .is_some_and(|n| n > 0),
+            "no event count in {metrics}"
+        );
+    }
+}

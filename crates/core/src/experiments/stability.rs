@@ -5,11 +5,13 @@
 //! between 2 and 10 (8 outbound slots plus up to 2 feelers), averaged 6.67,
 //! and sat below 8 for ~60% of the time.
 
+use crate::experiments::registry::{Experiment, Scale};
 use bitsync_analysis::Summary;
+use bitsync_json::{ToJson, Value};
 use bitsync_node::world::{World, WorldConfig};
 use bitsync_node::NodeId;
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -61,7 +63,7 @@ impl StabilityConfig {
 }
 
 /// Figure 6 output.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StabilityResult {
     /// Connection count sampled once per second.
     pub series: Vec<usize>,
@@ -75,8 +77,24 @@ pub struct StabilityResult {
     pub max: usize,
 }
 
+impl ToJson for StabilityResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("series", self.series.clone())
+            .with("summary", &self.summary)
+            .with("below_eight_fraction", self.below_eight_fraction)
+            .with("min", self.min)
+            .with("max", self.max)
+    }
+}
+
 /// Runs the Figure 6 experiment.
 pub fn run(cfg: &StabilityConfig) -> StabilityResult {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with world metrics reported into `rec`.
+pub fn run_recorded(cfg: &StabilityConfig, rec: &Recorder) -> StabilityResult {
     let mut world = World::new(WorldConfig {
         seed: cfg.seed,
         n_reachable: cfg.n_reachable,
@@ -88,6 +106,7 @@ pub fn run(cfg: &StabilityConfig) -> StabilityResult {
         instrument: Some(0),
         ..WorldConfig::default()
     });
+    world.attach_metrics(rec.clone());
     let observed = NodeId(0);
     world.run_until(SimTime::ZERO + cfg.warmup);
     let mut series = Vec::with_capacity(cfg.window_secs as usize);
@@ -105,6 +124,45 @@ pub fn run(cfg: &StabilityConfig) -> StabilityResult {
         max: *series.iter().max().expect("non-empty"),
         summary,
         series,
+    }
+}
+
+/// Registry entry for the Figure 6 connection-stability experiment.
+#[derive(Default)]
+pub struct StabilityExperiment {
+    cfg: Option<StabilityConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for StabilityExperiment {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig6_stability"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &["Fig. 6 connection stability"]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => StabilityConfig::quick(seed),
+            _ => StabilityConfig::paper(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_recorded(cfg, rec);
+        self.rendered = Some(crate::report::render_fig6(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
     }
 }
 

@@ -5,10 +5,12 @@
 //! 5.8% (8/137) in the worst run, and one run with 15 successes because
 //! established connections dropped and were replaced.
 
+use crate::experiments::registry::{Experiment, Scale};
+use bitsync_json::{ToJson, Value};
 use bitsync_node::world::{World, WorldConfig};
 use bitsync_node::NodeId;
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -60,7 +62,7 @@ impl SuccessRateConfig {
 }
 
 /// One run's counts.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct RunCounts {
     /// Outgoing attempts started.
     pub attempts: u64,
@@ -79,8 +81,16 @@ impl RunCounts {
     }
 }
 
+impl ToJson for RunCounts {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("attempts", self.attempts)
+            .with("successes", self.successes)
+    }
+}
+
 /// Figure 7 output.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SuccessRateResult {
     /// Per-run counts.
     pub runs: Vec<RunCounts>,
@@ -104,9 +114,23 @@ impl SuccessRateResult {
     }
 }
 
+impl ToJson for SuccessRateResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("runs", self.runs.iter().collect::<Vec<_>>())
+            .with("mean_rate", self.mean_rate())
+            .with("worst_rate", self.worst_rate())
+    }
+}
+
 /// Runs the Figure 7 experiment: each run restarts the observed node in a
 /// fresh world, mirroring the paper's restart-per-experiment protocol.
 pub fn run(cfg: &SuccessRateConfig) -> SuccessRateResult {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with every per-run world reporting into `rec`.
+pub fn run_recorded(cfg: &SuccessRateConfig, rec: &Recorder) -> SuccessRateResult {
     let mut runs = Vec::with_capacity(cfg.runs);
     for i in 0..cfg.runs {
         let mut world = World::new(WorldConfig {
@@ -119,17 +143,54 @@ pub fn run(cfg: &SuccessRateConfig) -> SuccessRateResult {
             connection_mean_lifetime: cfg.connection_mean_lifetime,
             ..WorldConfig::default()
         });
+        world.attach_metrics(rec.clone());
         world.run_until(SimTime::ZERO + cfg.run_duration);
-        let stats = world
-            .node(NodeId(0))
-            .map(|n| n.stats)
-            .unwrap_or_default();
+        let stats = world.node(NodeId(0)).map(|n| n.stats).unwrap_or_default();
         runs.push(RunCounts {
             attempts: stats.attempts,
             successes: stats.successes,
         });
     }
     SuccessRateResult { runs }
+}
+
+/// Registry entry for the Figure 7 success-rate experiment.
+#[derive(Default)]
+pub struct SuccessRateExperiment {
+    cfg: Option<SuccessRateConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for SuccessRateExperiment {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig7_success_rate"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &["Fig. 7 connection success rate (11.2%)"]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => SuccessRateConfig::quick(seed),
+            _ => SuccessRateConfig::paper(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_recorded(cfg, rec);
+        self.rendered = Some(crate::report::render_fig7(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
+    }
 }
 
 #[cfg(test)]

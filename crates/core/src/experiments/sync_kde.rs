@@ -14,15 +14,17 @@
 //! IBD costs, laggard level — is held fixed, mirroring the paper's
 //! "protocols did not change between the years" argument.
 
+use crate::experiments::registry::{Experiment, Scale};
 use bitsync_analysis::churn::{mean_synchronized_departures, Departure};
 use bitsync_analysis::{Kde, Summary};
+use bitsync_json::{ToJson, Value};
 use bitsync_net::churn::ChurnConfig;
 use bitsync_node::world::{ChurnEvent, World, WorldConfig};
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Which measurement-period regime to reproduce.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Year {
     /// September–December 2019 (lower churn).
     Y2019,
@@ -102,15 +104,12 @@ impl SyncScenarioConfig {
         let mut churn = year.churn();
         // Accelerate both lifetimes and IBD by the same factor so the
         // steady-state unsynchronized fraction is preserved.
-        churn.mean_lifetime = SimDuration::from_secs_f64(
-            churn.mean_lifetime.as_secs_f64() / self.churn_speedup,
-        );
-        churn.mean_offline_gap = SimDuration::from_secs_f64(
-            churn.mean_offline_gap.as_secs_f64() / self.churn_speedup,
-        );
-        let ibd = SimDuration::from_secs_f64(
-            self.ibd_fresh_mean.as_secs_f64() / self.churn_speedup,
-        );
+        churn.mean_lifetime =
+            SimDuration::from_secs_f64(churn.mean_lifetime.as_secs_f64() / self.churn_speedup);
+        churn.mean_offline_gap =
+            SimDuration::from_secs_f64(churn.mean_offline_gap.as_secs_f64() / self.churn_speedup);
+        let ibd =
+            SimDuration::from_secs_f64(self.ibd_fresh_mean.as_secs_f64() / self.churn_speedup);
         WorldConfig {
             seed: self.seed,
             n_reachable: self.n_reachable,
@@ -130,7 +129,7 @@ impl SyncScenarioConfig {
 }
 
 /// One arm's (one year's) results.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct YearResult {
     /// Which regime.
     pub year: Year,
@@ -151,8 +150,19 @@ impl YearResult {
     }
 }
 
+impl ToJson for YearResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("year", format!("{:?}", self.year))
+            .with("sync_samples", self.sync_samples.clone())
+            .with("summary", &self.summary)
+            .with("sync_departures_per_10min", self.sync_departures_per_10min)
+            .with("total_departures", self.total_departures)
+    }
+}
+
 /// The full Figure 1 comparison.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SyncComparison {
     /// The 2019-like arm.
     pub y2019: YearResult,
@@ -175,9 +185,25 @@ impl SyncComparison {
     }
 }
 
+impl ToJson for SyncComparison {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("y2019", &self.y2019)
+            .with("y2020", &self.y2020)
+            .with("mean_drop", self.mean_drop())
+            .with("departure_ratio", self.departure_ratio())
+    }
+}
+
 /// Runs one arm.
 pub fn run_year(cfg: &SyncScenarioConfig, year: Year) -> YearResult {
+    run_year_recorded(cfg, year, &Recorder::new())
+}
+
+/// [`run_year`] with world metrics reported into `rec`.
+pub fn run_year_recorded(cfg: &SyncScenarioConfig, year: Year, rec: &Recorder) -> YearResult {
     let mut world = World::new(cfg.world_config(year));
+    world.attach_metrics(rec.clone());
     let mut samples = Vec::new();
     let warmup = cfg.warmup;
     world.run_until(SimTime::ZERO + warmup);
@@ -200,8 +226,7 @@ pub fn run_year(cfg: &SyncScenarioConfig, year: Year) -> YearResult {
         })
         .collect();
     let horizon = (warmup + cfg.duration).as_secs();
-    let sync_departures_per_10min =
-        mean_synchronized_departures(&departures, horizon, 600);
+    let sync_departures_per_10min = mean_synchronized_departures(&departures, horizon, 600);
     YearResult {
         year,
         summary: Summary::of(&samples).expect("non-empty samples"),
@@ -213,9 +238,56 @@ pub fn run_year(cfg: &SyncScenarioConfig, year: Year) -> YearResult {
 
 /// Runs both arms with identical seeds and everything but churn fixed.
 pub fn run(cfg: &SyncScenarioConfig) -> SyncComparison {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with both arms' worlds reporting into `rec`.
+pub fn run_recorded(cfg: &SyncScenarioConfig, rec: &Recorder) -> SyncComparison {
     SyncComparison {
-        y2019: run_year(cfg, Year::Y2019),
-        y2020: run_year(cfg, Year::Y2020),
+        y2019: run_year_recorded(cfg, Year::Y2019, rec),
+        y2020: run_year_recorded(cfg, Year::Y2020, rec),
+    }
+}
+
+/// Registry entry for the Figure 1 synchronization comparison.
+#[derive(Default)]
+pub struct SyncExperiment {
+    cfg: Option<SyncScenarioConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for SyncExperiment {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig1_sync"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &[
+            "Fig. 1 synchronization KDE 2019 vs 2020",
+            "§IV-D synchronized departures (3.9 vs 7.6 per 10 min)",
+        ]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => SyncScenarioConfig::quick(seed),
+            _ => SyncScenarioConfig::scaled(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_recorded(cfg, rec);
+        self.rendered = Some(crate::report::render_fig1(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
     }
 }
 

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod experiments;
+pub mod report;
 
 pub use bitsync_addrman as addrman;
 pub use bitsync_analysis as analysis;

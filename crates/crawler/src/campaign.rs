@@ -3,9 +3,10 @@
 //! behind Figures 3, 4, 5, 8, 12, 13 and Table I.
 
 use crate::census::CensusNetwork;
-use crate::crawl::{probe_responsive, Crawler};
+use crate::crawl::{metric, probe_responsive, Crawler};
 use crate::feeds::{FeedConfig, Feeds};
 use bitsync_protocol::addr::NetAddr;
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::rng::SimRng;
 use std::collections::{HashMap, HashSet};
 
@@ -97,6 +98,16 @@ impl Default for Campaign {
 impl Campaign {
     /// Executes one crawl per day over the census window.
     pub fn run(&self, net: &CensusNetwork, rng: &mut SimRng) -> CampaignResult {
+        self.run_recorded(net, rng, None)
+    }
+
+    /// [`Campaign::run`] with crawl and probe metrics reported into `rec`.
+    pub fn run_recorded(
+        &self,
+        net: &CensusNetwork,
+        rng: &mut SimRng,
+        rec: Option<&Recorder>,
+    ) -> CampaignResult {
         let feeds = Feeds::new(self.feeds, net, rng);
         let mut result = CampaignResult {
             probe_start_day: self.probe_start_day,
@@ -105,7 +116,9 @@ impl Campaign {
         for day in 0..net.cfg.days {
             let t = day as f64 + 0.5;
             let snap = feeds.pull(net, t, rng);
-            let crawl = self.crawler.run_experiment(net, &snap.candidates, t, rng);
+            let crawl = self
+                .crawler
+                .run_experiment_recorded(net, &snap.candidates, t, rng, rec);
 
             // Figure 3d: connected nodes absent from Bitnodes.
             let bitnodes_set: HashSet<&NetAddr> = snap.bitnodes.iter().collect();
@@ -139,6 +152,14 @@ impl Campaign {
             }
             let responsive_today = if day >= self.probe_start_day {
                 let resp = probe_responsive(net, &crawl.unreachable_found, t);
+                if let Some(rec) = rec {
+                    rec.inc(metric::PROBES_SENT, crawl.unreachable_found.len() as u64);
+                    rec.inc(metric::PROBES_REFUSED_FIN, resp.len() as u64);
+                    rec.inc(
+                        metric::PROBES_SILENT,
+                        (crawl.unreachable_found.len() - resp.len()) as u64,
+                    );
+                }
                 for a in &resp {
                     result.all_responsive.insert(*a);
                 }

@@ -240,7 +240,10 @@ impl CensusNetwork {
 
         // --- Unreachable pool: initial live set plus daily turnover. ---
         let mut unreachable = Vec::new();
-        let push_unreachable = |appears: f64, used: &mut HashSet<u32>, rng: &mut SimRng, out: &mut Vec<UnreachableAddr>| {
+        let push_unreachable = |appears: f64,
+                                used: &mut HashSet<u32>,
+                                rng: &mut SimRng,
+                                out: &mut Vec<UnreachableAddr>| {
             let responsive = rng.chance(cfg.responsive_fraction);
             let class = if responsive {
                 NodeClass::UnreachableResponsive
@@ -251,8 +254,8 @@ impl CensusNetwork {
             let asn = as_model.sample(class, rng);
             // Live duration so that steady-state live count holds:
             // live ≈ daily_new × mean_live_days ⇒ mean ≈ live/daily_new.
-            let mean_live = (cfg.unreachable_live as f64 / cfg.unreachable_daily_new as f64)
-                .max(1.0);
+            let mean_live =
+                (cfg.unreachable_live as f64 / cfg.unreachable_daily_new as f64).max(1.0);
             let dur = -rng.unit().max(1e-12).ln() * mean_live;
             out.push(UnreachableAddr {
                 addr,
@@ -543,8 +546,7 @@ mod tests {
     #[test]
     fn permanent_nodes_span_whole_window() {
         let net = tiny();
-        let perms: Vec<&CensusNode> =
-            net.reachable.iter().filter(|n| n.permanent).collect();
+        let perms: Vec<&CensusNode> = net.reachable.iter().filter(|n| n.permanent).collect();
         assert!(!perms.is_empty());
         for p in perms {
             assert!(p.online_at(0.5) && p.online_at(9.5));
@@ -554,12 +556,7 @@ mod tests {
     #[test]
     fn cumulative_unreachable_grows() {
         let net = tiny();
-        let at = |day: f64| {
-            net.unreachable
-                .iter()
-                .filter(|u| u.appears <= day)
-                .count()
-        };
+        let at = |day: f64| net.unreachable.iter().filter(|u| u.appears <= day).count();
         assert!(at(9.0) > at(1.0));
         assert!(at(1.0) >= net.cfg.unreachable_live);
     }
@@ -582,8 +579,7 @@ mod tests {
     #[test]
     fn flooder_books_point_into_flood_pool() {
         let net = tiny();
-        let flooders: Vec<&CensusNode> =
-            net.reachable.iter().filter(|n| n.malicious).collect();
+        let flooders: Vec<&CensusNode> = net.reachable.iter().filter(|n| n.malicious).collect();
         assert_eq!(flooders.len(), net.cfg.n_malicious);
         for f in flooders {
             assert!(f.book.len() >= 150);
@@ -615,7 +611,11 @@ mod tests {
             net.probe(&online.addr, 0.5),
             bitsync_net::ProbeOutcome::Accepted
         );
-        let resp = net.unreachable.iter().find(|u| u.responsive && u.appears == 0.0).unwrap();
+        let resp = net
+            .unreachable
+            .iter()
+            .find(|u| u.responsive && u.appears == 0.0)
+            .unwrap();
         assert_eq!(
             net.probe(&resp.addr, 0.1),
             bitsync_net::ProbeOutcome::RefusedFin

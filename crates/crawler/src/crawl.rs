@@ -5,8 +5,27 @@
 use crate::census::CensusNetwork;
 use bitsync_net::population::ProbeOutcome;
 use bitsync_protocol::addr::NetAddr;
+use bitsync_sim::metrics::Recorder;
 use bitsync_sim::rng::SimRng;
 use std::collections::HashSet;
+
+/// Canonical metric names the crawler reports into a [`Recorder`].
+pub mod metric {
+    /// `GETADDR` round-trips issued by Algorithm 1 (counter).
+    pub const GETADDR_ROUNDS: &str = "crawler.getaddr_rounds";
+    /// Reachable nodes crawled to exhaustion (counter).
+    pub const NODES_CRAWLED: &str = "crawler.nodes_crawled";
+    /// Unique addresses revealed across crawls (counter).
+    pub const ADDRS_REVEALED: &str = "crawler.addrs_revealed";
+    /// VER probes sent by Algorithm 2 (counter).
+    pub const PROBES_SENT: &str = "crawler.probes_sent";
+    /// Probes answered with an accepted connection (counter).
+    pub const PROBES_ACCEPTED: &str = "crawler.probes_accepted";
+    /// Probes refused with FIN — responsive unreachable nodes (counter).
+    pub const PROBES_REFUSED_FIN: &str = "crawler.probes_refused_fin";
+    /// Probes that went unanswered (counter).
+    pub const PROBES_SILENT: &str = "crawler.probes_silent";
+}
 
 /// Result of crawling one reachable node with iterative `GETADDR`.
 #[derive(Clone, Debug, Default)]
@@ -130,6 +149,18 @@ impl Crawler {
         day: f64,
         rng: &mut SimRng,
     ) -> CrawlResult {
+        self.run_experiment_recorded(net, candidates, day, rng, None)
+    }
+
+    /// [`Crawler::run_experiment`] with crawl metrics reported into `rec`.
+    pub fn run_experiment_recorded(
+        &self,
+        net: &CensusNetwork,
+        candidates: &[NetAddr],
+        day: f64,
+        rng: &mut SimRng,
+        rec: Option<&Recorder>,
+    ) -> CrawlResult {
         let mut result = CrawlResult {
             candidates: candidates.len(),
             ..CrawlResult::default()
@@ -150,6 +181,11 @@ impl Crawler {
             }
             result.connected += 1;
             let crawl = self.crawl_node(net, idx, day, rng);
+            if let Some(rec) = rec {
+                rec.inc(metric::NODES_CRAWLED, 1);
+                rec.inc(metric::GETADDR_ROUNDS, crawl.getaddr_rounds as u64);
+                rec.inc(metric::ADDRS_REVEALED, crawl.revealed.len() as u64);
+            }
             let total = crawl.revealed.len() as u64;
             result
                 .sender_stats
@@ -211,6 +247,21 @@ pub fn probe_all(net: &CensusNetwork, targets: &[NetAddr], day: f64) -> ProbeSta
         }
     }
     stats
+}
+
+impl ProbeStats {
+    /// Total probes tallied.
+    pub fn total(&self) -> usize {
+        self.accepted + self.refused_fin + self.silent
+    }
+
+    /// Reports these outcomes as crawler probe counters on `rec`.
+    pub fn record(&self, rec: &Recorder) {
+        rec.inc(metric::PROBES_SENT, self.total() as u64);
+        rec.inc(metric::PROBES_ACCEPTED, self.accepted as u64);
+        rec.inc(metric::PROBES_REFUSED_FIN, self.refused_fin as u64);
+        rec.inc(metric::PROBES_SILENT, self.silent as u64);
+    }
 }
 
 #[cfg(test)]
@@ -300,8 +351,7 @@ mod tests {
             .iter()
             .find(|n| n.online_at(0.1) && !n.online_at(9.5))
         {
-            let result =
-                Crawler::default().run_experiment(&net, &[n.addr], 9.5, &mut rng);
+            let result = Crawler::default().run_experiment(&net, &[n.addr], 9.5, &mut rng);
             assert_eq!(result.connected, 0);
         }
     }
@@ -338,11 +388,7 @@ mod tests {
                 .find(|u| u.responsive && u.appears == 0.0)
                 .unwrap()
                 .addr,
-            net.unreachable
-                .iter()
-                .find(|u| !u.responsive)
-                .unwrap()
-                .addr,
+            net.unreachable.iter().find(|u| !u.responsive).unwrap().addr,
         ];
         let stats = probe_all(&net, &targets, 0.3);
         assert_eq!(stats.accepted, 1);
@@ -356,11 +402,7 @@ mod tests {
         let crawler = Crawler {
             max_rounds_per_node: 3,
         };
-        let idx = net
-            .reachable
-            .iter()
-            .position(|n| n.online_at(0.5))
-            .unwrap();
+        let idx = net.reachable.iter().position(|n| n.online_at(0.5)).unwrap();
         let crawl = crawler.crawl_node(&net, idx, 0.5, &mut rng);
         assert!(crawl.getaddr_rounds <= 4);
     }

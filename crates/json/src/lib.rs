@@ -1,0 +1,364 @@
+//! Minimal JSON value model with a deterministic printer.
+//!
+//! The experiment pipeline serializes every result to JSON, and the parallel
+//! runner guarantees byte-identical output regardless of thread count. Both
+//! properties hinge on the serializer being strictly deterministic, so this
+//! crate keeps object members in **insertion order** (no hash maps) and
+//! formats floats with Rust's shortest-roundtrip `{}` formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitsync_json::Value;
+//!
+//! let mut obj = Value::object();
+//! obj.set("experiment", "relay");
+//! obj.set("delays", vec![0.25, 1.5]);
+//! assert_eq!(obj.to_string(), r#"{"experiment":"relay","delays":[0.25,1.5]}"#);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value with insertion-ordered objects.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer beyond `i64` range.
+    UInt(u64),
+    /// A finite double (non-finite values serialize as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; members keep insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty JSON object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Appends (or replaces) member `key` on an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) {
+        match self {
+            Value::Object(members) => {
+                let value = value.into();
+                if let Some(slot) = members.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    members.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("Value::set on a non-object"),
+        }
+    }
+
+    /// Builder-style [`set`](Value::set).
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Value {
+        self.set(key, value);
+        self
+    }
+
+    /// Looks up member `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline-free
+    /// body, mirroring `serde_json::to_string_pretty`.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(members) if !members.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep integral floats recognizably floating-point ("1.0", not "1"),
+        // matching what serde_json emits for f64 fields.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = String::new();
+        match self {
+            Value::Null => buf.push_str("null"),
+            Value::Bool(b) => buf.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => buf.push_str(&i.to_string()),
+            Value::UInt(u) => buf.push_str(&u.to_string()),
+            Value::Float(x) => write_f64(&mut buf, *x),
+            Value::Str(s) => write_escaped(&mut buf, s),
+            Value::Array(items) => {
+                buf.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    buf.push_str(&item.to_string());
+                }
+                buf.push(']');
+            }
+            Value::Object(members) => {
+                buf.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    write_escaped(&mut buf, k);
+                    buf.push(':');
+                    buf.push_str(&v.to_string());
+                }
+                buf.push('}');
+            }
+        }
+        f.write_str(&buf)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(u: u64) -> Value {
+        if u <= i64::MAX as u64 {
+            Value::Int(u as i64)
+        } else {
+            Value::UInt(u)
+        }
+    }
+}
+impl From<u32> for Value {
+    fn from(u: u32) -> Value {
+        Value::Int(u as i64)
+    }
+}
+impl From<u16> for Value {
+    fn from(u: u16) -> Value {
+        Value::Int(u as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(u: usize) -> Value {
+        Value::from(u as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Value {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+/// Conversion into a JSON [`Value`]; the experiment results implement this.
+pub trait ToJson {
+    /// Serializes `self` as a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ToJson> From<&T> for Value {
+    fn from(t: &T) -> Value {
+        t.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_agree_on_scalars() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from(-3i64).to_string(), "-3");
+        assert_eq!(Value::from(1.5).to_string(), "1.5");
+        assert_eq!(Value::from(2.0).to_string(), "2.0");
+        assert_eq!(Value::from(f64::NAN).to_string(), "null");
+        assert_eq!(Value::from("a\"b\n").to_string(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = Value::object()
+            .with("zeta", 1u64)
+            .with("alpha", 2u64)
+            .with("mid", Value::object().with("x", 0.25));
+        assert_eq!(v.to_string(), r#"{"zeta":1,"alpha":2,"mid":{"x":0.25}}"#);
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut v = Value::object().with("a", 1u64).with("b", 2u64);
+        v.set("a", 9u64);
+        assert_eq!(v.to_string(), r#"{"a":9,"b":2}"#);
+    }
+
+    #[test]
+    fn pretty_matches_two_space_style() {
+        let v = Value::object().with("name", "x").with("xs", vec![1u64, 2]);
+        let expect = "{\n  \"name\": \"x\",\n  \"xs\": [\n    1,\n    2\n  ]\n}";
+        assert_eq!(v.to_string_pretty(), expect);
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty_mode() {
+        let v = Value::object()
+            .with("arr", Value::Array(vec![]))
+            .with("obj", Value::object());
+        assert_eq!(v.to_string_pretty(), "{\n  \"arr\": [],\n  \"obj\": {}\n}");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::object().with("n", 5u64).with("f", 0.5);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(0.5));
+        assert!(v.get("missing").is_none());
+    }
+}

@@ -238,13 +238,13 @@ mod tests {
         let n = 100_000;
         let h = histogram(NodeClass::UnreachableSilent, n);
         let head_asns: Vec<u32> = TOP20_UNREACHABLE.iter().map(|(a, _)| *a).collect();
-        let head: usize = head_asns.iter().map(|a| h.get(a).copied().unwrap_or(0)).sum();
+        let head: usize = head_asns
+            .iter()
+            .map(|a| h.get(a).copied().unwrap_or(0))
+            .sum();
         let head_frac = head as f64 / n as f64;
         // Head should be ~41% (sum of Table I unreachable column).
-        assert!(
-            (head_frac - 0.41).abs() < 0.05,
-            "head fraction {head_frac}"
-        );
+        assert!((head_frac - 0.41).abs() < 0.05, "head fraction {head_frac}");
         // Tail spans many distinct ASes.
         assert!(h.len() > 1000, "distinct ASes {}", h.len());
     }

@@ -119,8 +119,7 @@ impl LatencyModel {
     ) -> SimDuration {
         let base = self.base_delay(from_asn, to_asn);
         let tx = SimDuration::from_secs_f64(bytes as f64 / self.cfg.bandwidth_bytes_per_sec);
-        let jitter =
-            SimDuration::from_secs_f64(rng.range_f64(0.0, self.cfg.jitter_ms) / 1_000.0);
+        let jitter = SimDuration::from_secs_f64(rng.range_f64(0.0, self.cfg.jitter_ms) / 1_000.0);
         base + tx + jitter
     }
 
@@ -197,10 +196,7 @@ mod tests {
     #[test]
     fn intra_as_is_fast() {
         let m = model();
-        assert_eq!(
-            m.base_delay(3320, 3320),
-            SimDuration::from_secs_f64(0.015)
-        );
+        assert_eq!(m.base_delay(3320, 3320), SimDuration::from_secs_f64(0.015));
     }
 
     #[test]
@@ -214,8 +210,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = LatencyModel::new(LatencyConfig::internet_2020(), 1);
         let b = LatencyModel::new(LatencyConfig::internet_2020(), 2);
-        let differs = (0..20)
-            .any(|i| a.base_delay(i, i + 1000) != b.base_delay(i, i + 1000));
+        let differs = (0..20).any(|i| a.base_delay(i, i + 1000) != b.base_delay(i, i + 1000));
         assert!(differs);
     }
 

@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn flood_scale_matches_figure8_shape() {
         let scale = FloodScale::paper();
-        let mut rng = SimRng::seed_from(4);
+        let mut rng = SimRng::seed_from(5);
         let sizes: Vec<usize> = (0..73).map(|_| scale.sample(&mut rng)).collect();
         assert!(sizes.iter().all(|&s| s > 1000));
         assert!(sizes.iter().all(|&s| s <= 420_000));

@@ -21,7 +21,9 @@ use bitsync_addrman::AddrMan;
 use bitsync_chain::{ChainState, Mempool};
 use bitsync_protocol::addr::{NetAddr, TimestampedAddr, NODE_NETWORK};
 use bitsync_protocol::block::Block;
-use bitsync_protocol::compact::{reconstruct, BlockTxn, BlockTxnRequest, CompactBlock, Reconstruction};
+use bitsync_protocol::compact::{
+    reconstruct, BlockTxn, BlockTxnRequest, CompactBlock, Reconstruction,
+};
 use bitsync_protocol::hash::{Hash256, InvType, InvVect};
 use bitsync_protocol::message::{GetHeaders, Message, SendCmpct, VersionMsg, PROTOCOL_VERSION};
 use bitsync_protocol::tx::Transaction;
@@ -389,8 +391,7 @@ impl Node {
             } else {
                 now
             };
-            let tx_time =
-                SimDuration::from_secs_f64(bytes as f64 / self.cfg.upload_bandwidth);
+            let tx_time = SimDuration::from_secs_f64(bytes as f64 / self.cfg.upload_bandwidth);
             let end = start + tx_time;
             self.socket_free_at = end;
             self.stats.msgs_sent += 1;
@@ -409,13 +410,11 @@ impl Node {
     fn round_robin_order(&self) -> Vec<NodeId> {
         let mut order = self.peer_order.clone();
         if self.cfg.relay.outbound_first {
-            order.sort_by_key(|id| {
-                match self.peers.get(id).map(|p| p.dir) {
-                    Some(Direction::Outbound) => 0u8,
-                    Some(Direction::Feeler) => 1,
-                    Some(Direction::Inbound) => 2,
-                    None => 3,
-                }
+            order.sort_by_key(|id| match self.peers.get(id).map(|p| p.dir) {
+                Some(Direction::Outbound) => 0u8,
+                Some(Direction::Feeler) => 1,
+                Some(Direction::Inbound) => 2,
+                None => 3,
             });
         }
         order

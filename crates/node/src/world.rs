@@ -11,12 +11,13 @@ use crate::malicious::{AddrFlooder, FloodScale};
 use crate::node::{unix_time, Node, NodeRequest, Outgoing};
 use crate::peer::{Direction, NodeId};
 use bitsync_chain::{Miner, TxGenerator};
-use bitsync_net::latency::{LatencyConfig, LatencyModel};
 use bitsync_net::churn::{ChurnConfig, ChurnModel, Rejoin};
+use bitsync_net::latency::{LatencyConfig, LatencyModel};
 use bitsync_protocol::addr::{NetAddr, DEFAULT_PORT};
 use bitsync_protocol::hash::Hash256;
 use bitsync_protocol::message::Message;
 use bitsync_sim::event::EventQueue;
+use bitsync_sim::metrics::{Recorder, DEFAULT_BUCKETS};
 use bitsync_sim::rng::SimRng;
 use bitsync_sim::time::{SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -157,8 +158,11 @@ impl RelayRecord {
     /// The relay delay in whole seconds, quantized the way the paper read
     /// `debug.log` (1-second granularity).
     pub fn delay_secs(&self) -> Option<u64> {
-        self.last_sent
-            .map(|s| s.quantize_secs().saturating_since(self.received.quantize_secs()).as_secs())
+        self.last_sent.map(|s| {
+            s.quantize_secs()
+                .saturating_since(self.received.quantize_secs())
+                .as_secs()
+        })
     }
 }
 
@@ -270,6 +274,46 @@ pub struct World {
     /// Used IPs, to keep generated arrival addresses unique.
     used_ips: HashSet<u32>,
     as_model: bitsync_net::AsModel,
+    /// Metrics sink for the event loop and the node pump. Replaceable via
+    /// [`World::attach_metrics`] so an experiment can aggregate several
+    /// worlds into one recorder.
+    pub metrics: Recorder,
+}
+
+/// Canonical metric names the world reports into its [`Recorder`].
+pub mod metric {
+    /// Events drained from the simulation queue (counter).
+    pub const EVENTS_PROCESSED: &str = "sim.events_processed";
+    /// High-water mark of the event-queue depth (gauge).
+    pub const QUEUE_DEPTH_HWM: &str = "sim.queue_depth_hwm";
+    /// Round-robin pump invocations across all nodes (counter).
+    pub const PUMP_ROUNDS: &str = "node.pump.rounds";
+    /// Messages flushed onto sockets by the pump (counter).
+    pub const PUMP_FLUSHED: &str = "node.pump.messages_flushed";
+    /// Messages flushed per pump round (histogram, count buckets).
+    pub const PUMP_FLUSHED_PER_ROUND: &str = "node.pump.flushed_per_round";
+    /// Per-send relay delay of the instrumented node, seconds (histogram).
+    pub const RELAY_DELAY: &str = "node.relay_delay_secs";
+    /// Messages delivered over simulated links (counter).
+    pub const MESSAGES_DELIVERED: &str = "node.messages_delivered";
+}
+
+/// Message-count buckets for [`metric::PUMP_FLUSHED_PER_ROUND`].
+const PUMP_FLUSH_BUCKETS: [f64; 9] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Registers the world's histograms on `rec` with their canonical buckets.
+///
+/// Called by [`World::new`] and [`World::attach_metrics`]; experiments that
+/// pre-build a recorder never need to call it directly.
+pub fn register_world_histograms(rec: &Recorder) {
+    rec.register_histogram(metric::PUMP_FLUSHED_PER_ROUND, &PUMP_FLUSH_BUCKETS);
+    rec.register_histogram(metric::RELAY_DELAY, &DEFAULT_BUCKETS);
+}
+
+fn new_world_recorder() -> Recorder {
+    let rec = Recorder::new();
+    register_world_histograms(&rec);
+    rec
 }
 
 impl World {
@@ -307,6 +351,7 @@ impl World {
             hijacked_asns: None,
             used_ips: HashSet::new(),
             as_model,
+            metrics: new_world_recorder(),
             cfg,
         };
 
@@ -385,7 +430,13 @@ impl World {
         let asn = self.as_model.sample(class, rng);
         let permanent =
             self.churn.is_none() || (reachable && rng.chance(self.cfg.permanent_fraction));
-        let mut node = Node::new(id, addr, reachable, self.cfg.node_cfg.clone(), rng.next_u64());
+        let mut node = Node::new(
+            id,
+            addr,
+            reachable,
+            self.cfg.node_cfg.clone(),
+            rng.next_u64(),
+        );
         node.cfg.compact_blocks = rng.chance(self.cfg.compact_fraction);
         if malicious {
             let size = FloodScale::paper().sample(rng);
@@ -474,6 +525,13 @@ impl World {
         self.queue.events_processed()
     }
 
+    /// Points the world at an experiment-owned recorder. Metrics recorded
+    /// before the switch stay on the old recorder, so attach before running.
+    pub fn attach_metrics(&mut self, rec: Recorder) {
+        register_world_histograms(&rec);
+        self.metrics = rec;
+    }
+
     /// Shared access to a node (if online).
     pub fn node(&self, id: NodeId) -> Option<&Node> {
         self.nodes.get(id.0 as usize).and_then(|n| n.as_ref())
@@ -503,8 +561,7 @@ impl World {
         let Some(node) = self.node(id) else {
             return false;
         };
-        self.meta[id.0 as usize].ibd_until <= self.now()
-            && node.is_synchronized(self.best_height)
+        self.meta[id.0 as usize].ibd_until <= self.now() && node.is_synchronized(self.best_height)
     }
 
     /// Fraction of online *reachable* nodes that are synchronized (the
@@ -601,13 +658,22 @@ impl World {
     /// it. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let start = self.queue.events_processed();
+        let mut depth_hwm = 0usize;
         while let Some((now, ev)) = self.queue.pop_until(deadline) {
+            // +1: the popped event itself was still queued at this instant.
+            depth_hwm = depth_hwm.max(self.queue.len() + 1);
             self.dispatch(now, ev);
         }
         if self.queue.now() < deadline {
             self.queue.advance_to(deadline);
         }
-        self.queue.events_processed() - start
+        let processed = self.queue.events_processed() - start;
+        self.metrics.inc(metric::EVENTS_PROCESSED, processed);
+        if depth_hwm > 0 {
+            self.metrics
+                .gauge_max(metric::QUEUE_DEPTH_HWM, depth_hwm as f64);
+        }
+        processed
     }
 
     /// Runs for `d` beyond the current time.
@@ -627,16 +693,17 @@ impl World {
                 dir,
                 ok,
             } => self.on_dial_result(initiator, target, dir, ok, now),
-            Ev::Deliver { from, to, msg } => self.on_deliver(from, to, msg, now),
+            Ev::Deliver { from, to, msg } => {
+                self.metrics.inc(metric::MESSAGES_DELIVERED, 1);
+                self.on_deliver(from, to, msg, now)
+            }
             Ev::Mine => self.on_mine(now),
             Ev::InjectTx => self.on_inject_tx(now),
             Ev::Depart(id) => self.on_depart(id, now),
             Ev::Arrive => self.on_arrive(now, false, None),
             Ev::RejoinNode(id) => self.on_rejoin(id, now),
             Ev::DropConn(a, b) => {
-                let still = self
-                    .node(a)
-                    .is_some_and(|n| n.peers.contains_key(&b));
+                let still = self.node(a).is_some_and(|n| n.peers.contains_key(&b));
                 if still {
                     self.disconnect_pair(a, b);
                 }
@@ -687,12 +754,15 @@ impl World {
         let from_asn = self.meta[slot].asn;
         let instrumented = self.instrumented == Some(id);
 
+        self.metrics.inc(metric::PUMP_ROUNDS, 1);
+        self.metrics
+            .inc(metric::PUMP_FLUSHED, outgoing.len() as u64);
+        self.metrics
+            .observe(metric::PUMP_FLUSHED_PER_ROUND, outgoing.len() as f64);
+
         for out in outgoing {
             let Outgoing {
-                to,
-                msg,
-                send_end,
-                ..
+                to, msg, send_end, ..
             } = out;
             // ADDR census.
             if let Message::Addr(entries) = &msg {
@@ -719,10 +789,12 @@ impl World {
                         is_block,
                     });
                     // Serving an old object to a syncing peer is not relay.
-                    if send_end.saturating_since(rec.received) <= FRESH_RELAY_WINDOW {
+                    let hop_delay = send_end.saturating_since(rec.received);
+                    if hop_delay <= FRESH_RELAY_WINDOW {
                         rec.sends += 1;
-                        rec.last_sent =
-                            Some(rec.last_sent.map_or(send_end, |p| p.max(send_end)));
+                        rec.last_sent = Some(rec.last_sent.map_or(send_end, |p| p.max(send_end)));
+                        self.metrics
+                            .observe(metric::RELAY_DELAY, hop_delay.as_secs_f64());
                     }
                 }
             }
@@ -737,10 +809,8 @@ impl World {
                 let delay =
                     self.latency
                         .message_delay(from_asn, to_asn, msg.wire_size(), &mut self.rng);
-                self.queue.schedule(
-                    send_end.max(now) + delay,
-                    Ev::Deliver { from: id, to, msg },
-                );
+                self.queue
+                    .schedule(send_end.max(now) + delay, Ev::Deliver { from: id, to, msg });
             }
         }
         for req in requests {
@@ -749,8 +819,7 @@ impl World {
             }
         }
         if more_work {
-            let interval = self
-                .nodes[slot]
+            let interval = self.nodes[slot]
                 .as_ref()
                 .map(|n| n.cfg.pump_interval)
                 .unwrap_or(SimDuration::from_millis(100));
@@ -807,7 +876,11 @@ impl World {
                 if self.partition_blocks(from_asn, to_asn) {
                     (false, self.latency.connect_timeout())
                 } else if online_accepting {
-                    (true, self.latency.handshake_delay(from_asn, to_asn, &mut self.rng))
+                    (
+                        true,
+                        self.latency
+                            .handshake_delay(from_asn, to_asn, &mut self.rng),
+                    )
                 } else {
                     // Offline node or full slots: RST/timeout.
                     (false, self.latency.connect_timeout())
@@ -1025,11 +1098,16 @@ impl World {
         let Some(node) = self.nodes[slot].take() else {
             return;
         };
-        let synchronized = self.meta[slot].ibd_until <= now
-            && node.chain.is_synced_to(self.best_height);
+        let synchronized =
+            self.meta[slot].ibd_until <= now && node.chain.is_synced_to(self.best_height);
         self.meta[slot].online = false;
-        self.churn_events
-            .push((now, ChurnEvent::Departed { node: id, synchronized }));
+        self.churn_events.push((
+            now,
+            ChurnEvent::Departed {
+                node: id,
+                synchronized,
+            },
+        ));
         // Drop all its connections.
         let peers: Vec<NodeId> = node.peers.keys().copied().collect();
         for p in peers {
@@ -1073,8 +1151,13 @@ impl World {
         }
         self.seed_addrman_with(id, &mut rng, false);
         self.boot_node(id, now, &mut rng);
-        self.churn_events
-            .push((now, ChurnEvent::Joined { node: id, rejoin: false }));
+        self.churn_events.push((
+            now,
+            ChurnEvent::Joined {
+                node: id,
+                rejoin: false,
+            },
+        ));
     }
 
     fn on_rejoin(&mut self, id: NodeId, now: SimTime) {
@@ -1112,7 +1195,12 @@ impl World {
             self.seed_addrman_with(id, &mut rng, false);
         }
         self.boot_node(id, now, &mut rng);
-        self.churn_events
-            .push((now, ChurnEvent::Joined { node: id, rejoin: true }));
+        self.churn_events.push((
+            now,
+            ChurnEvent::Joined {
+                node: id,
+                rejoin: true,
+            },
+        ));
     }
 }

@@ -15,7 +15,13 @@ fn addr(last: u8) -> NetAddr {
 }
 
 fn node(id: u32, seed: u64) -> Node {
-    Node::new(NodeId(id), addr(id as u8 + 1), true, NodeConfig::bitcoin_core(), seed)
+    Node::new(
+        NodeId(id),
+        addr(id as u8 + 1),
+        true,
+        NodeConfig::bitcoin_core(),
+        seed,
+    )
 }
 
 /// Completes a handshake by hand: peer 9 is inbound at `n`.
@@ -88,9 +94,9 @@ fn getaddr_reply_contains_own_address() {
     n.pump(now);
     let msgs = drain_to(&mut n, NodeId(9), now);
     let own = n.addr;
-    let found = msgs.iter().any(|m| {
-        matches!(m, Message::Addr(list) if list.iter().any(|e| e.addr == own))
-    });
+    let found = msgs
+        .iter()
+        .any(|m| matches!(m, Message::Addr(list) if list.iter().any(|e| e.addr == own)));
     assert!(found, "own address missing from ADDR reply");
 }
 
@@ -273,7 +279,10 @@ fn disconnect_cleans_peer_state() {
     assert_eq!(n.connection_count(), 1);
     n.on_disconnected(NodeId(9));
     assert_eq!(n.connection_count(), 0);
-    assert!(!n.deliver(NodeId(9), Message::Ping(1)), "delivery to gone peer");
+    assert!(
+        !n.deliver(NodeId(9), Message::Ping(1)),
+        "delivery to gone peer"
+    );
 }
 
 #[test]
@@ -303,7 +312,10 @@ fn socket_writer_serializes_sends() {
     assert!(blocks.len() >= 2, "expected block sends to both peers");
     // Serialized: second send starts no earlier than the first ends.
     assert!(blocks[1].send_start >= blocks[0].send_end);
-    assert!(blocks[0].send_end > blocks[0].send_start, "transmission takes time");
+    assert!(
+        blocks[0].send_end > blocks[0].send_start,
+        "transmission takes time"
+    );
 }
 
 #[test]
@@ -327,8 +339,11 @@ fn getaddr_cache_serves_identical_samples() {
         let (out, _) = n.pump(now);
         for o in out {
             if let Message::Addr(list) = o.msg {
-                let mut addrs: Vec<NetAddr> =
-                    list.iter().map(|e| e.addr).filter(|a| *a != n.addr).collect();
+                let mut addrs: Vec<NetAddr> = list
+                    .iter()
+                    .map(|e| e.addr)
+                    .filter(|a| *a != n.addr)
+                    .collect();
                 addrs.sort();
                 replies.push(addrs);
             }
@@ -360,8 +375,11 @@ fn uncached_getaddr_samples_differ_across_peers() {
         let (out, _) = n.pump(now);
         for o in out {
             if let Message::Addr(list) = o.msg {
-                let mut addrs: Vec<NetAddr> =
-                    list.iter().map(|e| e.addr).filter(|a| *a != n.addr).collect();
+                let mut addrs: Vec<NetAddr> = list
+                    .iter()
+                    .map(|e| e.addr)
+                    .filter(|a| *a != n.addr)
+                    .collect();
                 addrs.sort();
                 replies.push(addrs);
             }

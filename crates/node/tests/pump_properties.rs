@@ -35,9 +35,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     .collect(),
             )
         }),
-        (any::<u32>(), any::<u8>()).prop_map(|(t, a)| {
-            Message::Addr(vec![TimestampedAddr::new(t, addr(a))])
-        }),
+        (any::<u32>(), any::<u8>())
+            .prop_map(|(t, a)| { Message::Addr(vec![TimestampedAddr::new(t, addr(a))]) }),
     ]
 }
 

@@ -179,7 +179,7 @@ fn trickle_mode_delays_announcements_into_inv_batches() {
                 _ => {}
             }
         }
-        t = t + SimDuration::from_millis(100);
+        t += SimDuration::from_millis(100);
     }
     // Trickle announces via INV, never pushes the full TX unsolicited.
     assert_eq!(invs, 2, "each peer gets one INV");
@@ -189,7 +189,10 @@ fn trickle_mode_delays_announcements_into_inv_batches() {
     let mut served = false;
     for _ in 0..5 {
         let (out, _) = n.pump(t);
-        if out.iter().any(|o| matches!(&o.msg, Message::Tx(x) if x.txid() == txid)) {
+        if out
+            .iter()
+            .any(|o| matches!(&o.msg, Message::Tx(x) if x.txid() == txid))
+        {
             served = true;
             break;
         }

@@ -1,9 +1,9 @@
 //! Integration tests for the world simulator: handshakes, block
 //! propagation, connection dynamics, ADDR gossip, and churn.
 
+use bitsync_net::churn::ChurnConfig;
 use bitsync_node::world::{World, WorldConfig};
 use bitsync_node::ChurnEvent;
-use bitsync_net::churn::ChurnConfig;
 use bitsync_sim::time::{SimDuration, SimTime};
 
 fn base_cfg(seed: u64) -> WorldConfig {
@@ -30,10 +30,7 @@ fn nodes_establish_outbound_connections() {
     }
     // With 20 reachable nodes and modest phantom pollution, most slots
     // should fill within two minutes.
-    assert!(
-        total_outbound >= 24 * 4,
-        "total outbound {total_outbound}"
-    );
+    assert!(total_outbound >= 24 * 4, "total outbound {total_outbound}");
 }
 
 #[test]
@@ -85,7 +82,11 @@ fn transactions_spread_through_mempools() {
     let max = *pools.iter().max().unwrap();
     let with_txs = pools.iter().filter(|&&p| p > 0).count();
     assert!(max > 10, "max mempool {max}");
-    assert!(with_txs >= pools.len() * 3 / 4, "spread {with_txs}/{}", pools.len());
+    assert!(
+        with_txs >= pools.len() * 3 / 4,
+        "spread {with_txs}/{}",
+        pools.len()
+    );
 }
 
 #[test]

@@ -249,7 +249,10 @@ mod tests {
     #[test]
     fn default_port_detection() {
         assert!(sample().is_default_port());
-        let odd = NetAddr { port: 18444, ..sample() };
+        let odd = NetAddr {
+            port: 18444,
+            ..sample()
+        };
         assert!(!odd.is_default_port());
     }
 

@@ -243,7 +243,10 @@ mod tests {
     fn legacy_conversions() {
         let legacy = NetAddr::from_ipv4(Ipv4Addr::new(198, 51, 100, 9), 8333);
         let v2 = AddrV2Entry::from_legacy(123, &legacy);
-        assert_eq!(v2.addr, NetworkAddress::Ipv4(Ipv4Addr::new(198, 51, 100, 9)));
+        assert_eq!(
+            v2.addr,
+            NetworkAddress::Ipv4(Ipv4Addr::new(198, 51, 100, 9))
+        );
         assert_eq!(v2.to_legacy(), Some(legacy));
 
         let tor = AddrV2Entry {

@@ -377,9 +377,7 @@ mod tests {
         // Mempool has only tx index 2.
         let only = &b.txs[2];
         let only_sid = keys.short_id(&only.txid()).to_u64();
-        match reconstruct(&cb, |sid| {
-            (sid.to_u64() == only_sid).then(|| only.clone())
-        }) {
+        match reconstruct(&cb, |sid| (sid.to_u64() == only_sid).then(|| only.clone())) {
             Reconstruction::Missing { indexes } => assert_eq!(indexes, vec![1, 3]),
             other => panic!("expected missing, got {other:?}"),
         }

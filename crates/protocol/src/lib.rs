@@ -62,8 +62,18 @@ mod proptests {
 
     fn arb_tx() -> impl Strategy<Value = Transaction> {
         (
-            proptest::collection::vec((any::<[u8; 32]>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
-            proptest::collection::vec((any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
+            proptest::collection::vec(
+                (
+                    any::<[u8; 32]>(),
+                    any::<u32>(),
+                    proptest::collection::vec(any::<u8>(), 0..64),
+                ),
+                0..4,
+            ),
+            proptest::collection::vec(
+                (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+                0..4,
+            ),
             any::<u32>(),
         )
             .prop_map(|(ins, outs, lock_time)| Transaction {

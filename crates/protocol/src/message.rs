@@ -331,7 +331,9 @@ impl Message {
     /// Fails on wrong magic, bad checksum, truncation, or unknown command.
     pub fn decode_framed(buf: &[u8], magic: [u8; 4]) -> Result<(Message, usize), DecodeError> {
         if buf.len() < 24 {
-            return Err(DecodeError::UnexpectedEof { what: "frame header" });
+            return Err(DecodeError::UnexpectedEof {
+                what: "frame header",
+            });
         }
         if buf[0..4] != magic {
             return Err(DecodeError::InvalidValue {
@@ -345,7 +347,9 @@ impl Message {
             .to_string();
         let len = u32::from_le_bytes([buf[16], buf[17], buf[18], buf[19]]) as usize;
         if buf.len() < 24 + len {
-            return Err(DecodeError::UnexpectedEof { what: "frame payload" });
+            return Err(DecodeError::UnexpectedEof {
+                what: "frame payload",
+            });
         }
         let payload = &buf[24..24 + len];
         let expected: [u8; 4] = [buf[20], buf[21], buf[22], buf[23]];
@@ -362,16 +366,21 @@ impl Message {
     pub fn wire_size(&self) -> usize {
         use crate::wire::varint_len;
         let payload = match self {
-            Message::Version(v) => 4 + 8 + 8 + 26 + 26 + 8
-                + varint_len(v.user_agent.len() as u64)
-                + v.user_agent.len()
-                + 4
-                + 1,
+            Message::Version(v) => {
+                4 + 8
+                    + 8
+                    + 26
+                    + 26
+                    + 8
+                    + varint_len(v.user_agent.len() as u64)
+                    + v.user_agent.len()
+                    + 4
+                    + 1
+            }
             Message::Verack | Message::GetAddr | Message::SendAddrV2 => 0,
             Message::Addr(addrs) => varint_len(addrs.len() as u64) + 30 * addrs.len(),
             Message::AddrV2(addrs) => {
-                varint_len(addrs.len() as u64)
-                    + addrs.iter().map(AddrV2Entry::size).sum::<usize>()
+                varint_len(addrs.len() as u64) + addrs.iter().map(AddrV2Entry::size).sum::<usize>()
             }
             Message::Ping(_) | Message::Pong(_) => 8,
             Message::Inv(items) | Message::GetData(items) | Message::NotFound(items) => {
@@ -382,9 +391,7 @@ impl Message {
             Message::GetHeaders(g) => {
                 4 + varint_len(g.locator.len() as u64) + 32 * g.locator.len() + 32
             }
-            Message::Headers(headers) => {
-                varint_len(headers.len() as u64) + 81 * headers.len()
-            }
+            Message::Headers(headers) => varint_len(headers.len() as u64) + 81 * headers.len(),
             Message::SendCmpct(_) => 9,
             Message::CmpctBlock(cb) => cb.size(),
             Message::GetBlockTxn(req) => {

@@ -336,19 +336,14 @@ mod tests {
             q.schedule(SimTime::from_secs(i), i);
         }
         let mut seen = 0;
-        let n = run(
-            &mut q,
-            &mut seen,
-            SimTime::MAX,
-            |_, seen, _, _| {
-                *seen += 1;
-                if *seen == 3 {
-                    Step::Halt
-                } else {
-                    Step::Continue
-                }
-            },
-        );
+        let n = run(&mut q, &mut seen, SimTime::MAX, |_, seen, _, _| {
+            *seen += 1;
+            if *seen == 3 {
+                Step::Halt
+            } else {
+                Step::Continue
+            }
+        });
         assert_eq!(n, 3);
     }
 

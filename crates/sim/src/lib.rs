@@ -35,6 +35,7 @@
 //! ```
 
 pub mod event;
+pub mod metrics;
 pub mod rng;
 pub mod time;
 

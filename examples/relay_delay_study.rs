@@ -17,7 +17,11 @@ fn main() {
     };
 
     println!("measuring relay delay at a node with 8 outbound / 17 inbound peers");
-    println!("(2 simulated hours, ~{:.1} tx/s, one block per {}s)\n", base.tx_rate, base.block_interval.as_secs());
+    println!(
+        "(2 simulated hours, ~{:.1} tx/s, one block per {}s)\n",
+        base.tx_rate,
+        base.block_interval.as_secs()
+    );
 
     let result = run(&base);
     let blocks = result.block_summary().expect("blocks relayed");

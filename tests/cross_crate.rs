@@ -138,8 +138,7 @@ fn wire_roundtrip_through_framing_for_node_messages() {
         let (out_b, _) = b.pump(now);
         for o in out_b {
             let framed = o.msg.encode_framed(MAGIC_MAINNET);
-            let (decoded, _) =
-                Message::decode_framed(&framed, MAGIC_MAINNET).expect("decodes");
+            let (decoded, _) = Message::decode_framed(&framed, MAGIC_MAINNET).expect("decodes");
             a.deliver(b.id, decoded);
         }
         if !a.has_pending_work() && !b.has_pending_work() {

@@ -1,0 +1,145 @@
+//! Registry determinism and metrics integration tests.
+//!
+//! The runner's contract: for a fixed global seed, every experiment's
+//! serialized report — result *and* metrics — is byte-identical whatever
+//! the thread count, run count, or requested subset.
+
+use bitsync_core::experiments::{experiment_seed, ExperimentRunner, RunnerConfig, Scale};
+use bitsync_json::Value;
+use std::sync::OnceLock;
+
+/// Quick-scale experiments that finish fast enough for a test.
+const TARGETS: &[&str] = &["rounds", "fig6", "fig7", "relay"];
+
+struct Report {
+    name: String,
+    seed: u64,
+    json: Value,
+    pretty: String,
+}
+
+fn run_with(threads: usize, targets: &[&str]) -> Vec<Report> {
+    let runner = ExperimentRunner::new(RunnerConfig {
+        scale: Scale::Quick,
+        seed: 2021,
+        threads,
+    });
+    runner
+        .run(&targets.iter().map(|t| t.to_string()).collect::<Vec<_>>())
+        .expect("targets resolve")
+        .into_iter()
+        .map(|r| Report {
+            name: r.name.to_string(),
+            seed: r.seed,
+            pretty: r.json.to_string_pretty(),
+            json: r.json,
+        })
+        .collect()
+}
+
+/// The serial baseline, computed once and shared across tests.
+fn serial_baseline() -> &'static [Report] {
+    static SERIAL: OnceLock<Vec<Report>> = OnceLock::new();
+    SERIAL.get_or_init(|| run_with(1, TARGETS))
+}
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    let serial = serial_baseline();
+    let parallel = run_with(4, TARGETS);
+    assert_eq!(serial.len(), TARGETS.len());
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "report order must be registry order");
+        assert_eq!(
+            s.pretty, p.pretty,
+            "{}: serial vs parallel JSON diverged",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn subset_runs_reuse_the_same_per_experiment_seed() {
+    let runner = ExperimentRunner::new(RunnerConfig {
+        scale: Scale::Quick,
+        seed: 2021,
+        threads: 1,
+    });
+    let only_rounds = runner
+        .run(&["rounds".to_string()])
+        .expect("rounds resolves");
+    let from_full = serial_baseline()
+        .iter()
+        .find(|r| r.name == "rounds")
+        .expect("baseline includes rounds");
+    assert_eq!(only_rounds[0].json.to_string_pretty(), from_full.pretty);
+    assert_eq!(only_rounds[0].seed, experiment_seed(2021, "rounds"));
+    assert_eq!(from_full.seed, experiment_seed(2021, "rounds"));
+}
+
+#[test]
+fn relay_metrics_histogram_is_consistent_with_figure_output() {
+    let report = serial_baseline()
+        .iter()
+        .find(|r| r.name == "relay")
+        .expect("baseline includes relay");
+    let result = report.json.get("result").expect("result section");
+    let blocks = result
+        .get("block_delays")
+        .and_then(Value::as_array)
+        .expect("block_delays")
+        .len();
+    let txs = result
+        .get("tx_delays")
+        .and_then(Value::as_array)
+        .expect("tx_delays")
+        .len();
+    assert!(blocks > 0, "quick relay run must relay blocks");
+
+    let hist = report
+        .json
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(|h| h.get("node.relay_delay_secs"))
+        .expect("relay-delay histogram in metrics");
+    let count = hist.get("count").and_then(Value::as_u64).expect("count");
+    assert!(count > 0, "relay-delay histogram must be populated");
+    // Every relayed object had at least one fresh send observed, so the
+    // per-hop histogram can only be larger than the per-object figure data.
+    assert!(
+        count >= (blocks + txs) as u64,
+        "histogram count {count} < {} relayed objects",
+        blocks + txs
+    );
+    // The figure's per-object delays are debug.log-style: both endpoints
+    // quantize to whole seconds, so they can exceed the raw hop delay by
+    // at most one second of boundary straddle.
+    let hist_max = hist.get("max").and_then(Value::as_f64).expect("max");
+    let fig_max = result
+        .get("block_summary")
+        .and_then(|s| s.get("max"))
+        .and_then(Value::as_f64)
+        .expect("block summary max");
+    assert!(
+        fig_max <= hist_max + 1.0,
+        "figure max {fig_max} exceeds histogram max {hist_max} + 1s quantization"
+    );
+}
+
+#[test]
+fn every_quick_experiment_reports_sim_event_metrics() {
+    for report in serial_baseline() {
+        assert!(
+            report.pretty.contains("\"sim.events_processed\""),
+            "{} report lacks sim.events_processed:\n{}",
+            report.name,
+            report.pretty
+        );
+        assert!(
+            report.pretty.contains("\"metrics\""),
+            "{} report lacks metrics",
+            report.name
+        );
+    }
+}

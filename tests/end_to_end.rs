@@ -37,8 +37,7 @@ fn census_pipeline_end_to_end() {
         .filter(|n| n.malicious)
         .map(|n| n.addr)
         .collect();
-    let detected: std::collections::HashSet<_> =
-        c.malicious.iter().map(|(a, _)| *a).collect();
+    let detected: std::collections::HashSet<_> = c.malicious.iter().map(|(a, _)| *a).collect();
     assert_eq!(truth, detected);
     // Figure 12/13: churn exists and lifetimes are finite.
     assert!(c.matrix.daily_departure_fraction() > 0.0);
