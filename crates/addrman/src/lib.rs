@@ -479,6 +479,95 @@ impl AddrMan {
     pub fn iter(&self) -> impl Iterator<Item = &AddrInfo> {
         self.infos.iter().flatten()
     }
+
+    /// Exhaustively cross-checks every internal structure against every
+    /// other, panicking with a description of the first inconsistency.
+    ///
+    /// Verified invariants:
+    ///
+    /// - the endpoint index, record slab, and member lists all agree on
+    ///   which addresses exist (`len() == new + tried == live records`);
+    /// - table sizes never exceed their bucket capacity
+    ///   (`new ≤ new_buckets × slots`, `tried ≤ tried_buckets × slots`);
+    /// - every live record occupies **exactly one** cell of the table its
+    ///   `table` tag names and none of the other — in particular no
+    ///   address sits in two `tried` slots;
+    /// - `member_pos` round-trips through the member lists;
+    /// - free-list entries are vacant.
+    ///
+    /// O(tables + records): meant for tests and fuzz harnesses, not for
+    /// hot paths.
+    pub fn check_invariants(&self) {
+        let live: Vec<usize> = (0..self.infos.len())
+            .filter(|&i| self.infos[i].is_some())
+            .collect();
+        assert_eq!(self.index.len(), live.len(), "index size != live records");
+        assert_eq!(self.len(), live.len(), "member counts != live records");
+        for (a, &i) in &self.index {
+            let info = self
+                .infos
+                .get(i)
+                .and_then(|o| o.as_ref())
+                .expect("index entry points at a vacant slab slot");
+            assert_eq!(info.addr, *a, "index key != record address");
+        }
+
+        let new_cap = self.cfg.new_bucket_count * self.cfg.bucket_size;
+        let tried_cap = self.cfg.tried_bucket_count * self.cfg.bucket_size;
+        assert!(
+            self.new_count() <= new_cap,
+            "new overflow: {} > {new_cap}",
+            self.new_count()
+        );
+        assert!(
+            self.tried_count() <= tried_cap,
+            "tried overflow: {} > {tried_cap}",
+            self.tried_count()
+        );
+
+        let mut new_refs = vec![0u32; self.infos.len()];
+        let mut tried_refs = vec![0u32; self.infos.len()];
+        for (table, refs, cells) in [
+            (Table::New, &mut new_refs, &self.new_table),
+            (Table::Tried, &mut tried_refs, &self.tried_table),
+        ] {
+            for &cell in cells {
+                if cell == EMPTY_SLOT {
+                    continue;
+                }
+                let i = cell as usize;
+                let info = self.infos[i]
+                    .as_ref()
+                    .expect("table cell points at a vacant slab slot");
+                assert_eq!(info.table, table, "cell table != record table");
+                refs[i] += 1;
+            }
+        }
+        for &i in &live {
+            let info = self.infos[i].as_ref().expect("live");
+            let (own, other) = match info.table {
+                Table::New => (new_refs[i], tried_refs[i]),
+                Table::Tried => (tried_refs[i], new_refs[i]),
+            };
+            assert_eq!(own, 1, "{:?} occupies {own} slots of its table", info.addr);
+            assert_eq!(other, 0, "{:?} also sits in the other table", info.addr);
+        }
+
+        for (table, list) in [
+            (Table::New, &self.new_members),
+            (Table::Tried, &self.tried_members),
+        ] {
+            for (pos, &i) in list.iter().enumerate() {
+                assert_eq!(self.member_pos[i], pos, "member_pos out of sync");
+                let info = self.infos[i].as_ref().expect("member record vacant");
+                assert_eq!(info.table, table, "member in the wrong list");
+            }
+        }
+
+        for &i in &self.free {
+            assert!(self.infos[i].is_none(), "free-list slot {i} is occupied");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -2,18 +2,21 @@
 //! experiment registry.
 //!
 //! ```text
-//! repro [--list] [--seed N] [--scale quick|scaled|paper] [--threads N]
-//!       [--json DIR] [--metrics] <target>...
+//! repro [--list] [--seed N] [--scale quick|scaled|paper|full] [--threads N]
+//!       [--json DIR] [--metrics] [--only NAME[,NAME...]] <target>...
 //!
 //! targets: all, or any experiment name from `repro --list`
-//!   (rounds, fig6, fig7, relay, census, fig1, resync, partition, ablation)
+//!   (rounds, fig6, fig7, relay, census, fig1, resync, partition, ablation);
+//!   `--only census,relay` is equivalent to listing those targets
 //! ```
 //!
 //! Experiments run independently — `--threads 4` distributes them over
 //! worker threads; the output (text, JSON, metrics) is byte-identical to a
-//! serial run with the same seed.
+//! serial run with the same seed. Wall time, event throughput, and peak RSS
+//! go to stderr only, never into the deterministic report JSON.
 
 use bitsync_core::experiments::{experiment_seed, ExperimentRunner, RunnerConfig, Scale, REGISTRY};
+use bitsync_sim::metrics::{peak_rss_bytes, Throughput};
 
 fn list() {
     println!("available experiments (run with `repro <name>...` or `repro all`):\n");
@@ -73,7 +76,19 @@ fn main() {
                 cfg.scale = args
                     .get(i)
                     .and_then(|s| Scale::parse(s))
-                    .unwrap_or_else(|| usage("--scale must be quick|scaled|paper"));
+                    .unwrap_or_else(|| usage("--scale must be quick|scaled|paper|full"));
+            }
+            "--only" => {
+                i += 1;
+                let names = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--only needs a comma-separated experiment list"));
+                targets.extend(
+                    names
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string),
+                );
             }
             t if t.starts_with("--") => usage(&format!("unknown flag '{t}'")),
             t => targets.push(t.to_string()),
@@ -85,6 +100,7 @@ fn main() {
     }
 
     let runner = ExperimentRunner::new(cfg);
+    let started = std::time::Instant::now();
     let reports = match runner.run(&targets) {
         Ok(reports) => reports,
         Err(msg) => {
@@ -92,6 +108,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let wall_secs = started.elapsed().as_secs_f64();
 
     println!(
         "bitsync repro — seed {}, scale {}, {} thread{}\n",
@@ -120,13 +137,35 @@ fn main() {
             }
         }
     }
+
+    // Perf side-channel: stderr only — report JSON must stay byte-identical
+    // across machines and thread counts.
+    let events: u64 = reports
+        .iter()
+        .filter_map(|r| {
+            r.json
+                .get("metrics")?
+                .get("counters")?
+                .get("sim.events_processed")?
+                .as_u64()
+        })
+        .sum();
+    let throughput = Throughput { events, wall_secs };
+    match peak_rss_bytes() {
+        Some(rss) => eprintln!(
+            "[perf] {throughput}, peak RSS {:.1} MiB",
+            rss as f64 / (1024.0 * 1024.0)
+        ),
+        None => eprintln!("[perf] {throughput}"),
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [--list] [--seed N] [--scale quick|scaled|paper] [--threads N] \
-         [--json DIR] [--metrics] <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>..."
+        "usage: repro [--list] [--seed N] [--scale quick|scaled|paper|full] [--threads N] \
+         [--json DIR] [--metrics] [--only NAME[,NAME...]] \
+         <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>..."
     );
     std::process::exit(2);
 }

@@ -34,6 +34,17 @@ impl CensusExperimentConfig {
         }
     }
 
+    /// Full paper scale through the sampled crawl and compact books — the
+    /// `--scale full` configuration, sized to finish in minutes on one
+    /// core (see EXPERIMENTS.md).
+    pub fn full(seed: u64) -> Self {
+        CensusExperimentConfig {
+            seed,
+            census: CensusConfig::full_scale(),
+            campaign: Campaign::default(),
+        }
+    }
+
     /// 1:10 scale — the default for benches; multiply counts by 10 to
     /// compare against the paper.
     pub fn one_tenth(seed: u64) -> Self {
@@ -247,6 +258,7 @@ impl Experiment for CensusExperiment {
             Scale::Quick => CensusExperimentConfig::quick(seed),
             Scale::Scaled => CensusExperimentConfig::one_tenth(seed),
             Scale::Paper => CensusExperimentConfig::paper(seed),
+            Scale::Full => CensusExperimentConfig::full(seed),
         });
     }
 

@@ -25,6 +25,12 @@ pub enum Scale {
     Scaled,
     /// Full paper scale where a paper-sized variant exists.
     Paper,
+    /// Full paper scale through the closed-form fast paths: the census runs
+    /// its entire 10K-reachable / ~700K-unreachable campaign via the
+    /// sampled crawl, and the per-node experiments pollute their address
+    /// books at the full census ratio. See EXPERIMENTS.md §"Population
+    /// scale".
+    Full,
 }
 
 impl Scale {
@@ -34,6 +40,7 @@ impl Scale {
             "quick" => Some(Scale::Quick),
             "scaled" => Some(Scale::Scaled),
             "paper" => Some(Scale::Paper),
+            "full" => Some(Scale::Full),
             _ => None,
         }
     }
@@ -44,6 +51,7 @@ impl Scale {
             Scale::Quick => "quick",
             Scale::Scaled => "scaled",
             Scale::Paper => "paper",
+            Scale::Full => "full",
         }
     }
 }

@@ -50,6 +50,17 @@ impl StabilityConfig {
         }
     }
 
+    /// Full-scale variant: the paper's window and lifetimes over an
+    /// address book polluted at the full census ratio (as
+    /// `SuccessRateConfig::full`, the per-node book is what matters).
+    pub fn full(seed: u64) -> Self {
+        StabilityConfig {
+            n_phantoms: 40_000,
+            seed_phantoms: 2_500,
+            ..Self::paper(seed)
+        }
+    }
+
     /// Smaller, faster variant for tests.
     pub fn quick(seed: u64) -> Self {
         StabilityConfig {
@@ -150,6 +161,7 @@ impl Experiment for StabilityExperiment {
     fn configure(&mut self, scale: Scale, seed: u64) {
         self.cfg = Some(match scale {
             Scale::Quick => StabilityConfig::quick(seed),
+            Scale::Full => StabilityConfig::full(seed),
             _ => StabilityConfig::paper(seed),
         });
     }

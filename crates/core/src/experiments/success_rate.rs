@@ -49,6 +49,19 @@ impl SuccessRateConfig {
         }
     }
 
+    /// Full-scale variant: the same five 5-minute runs, but with the
+    /// phantom pool grown to the tens of thousands of unreachable
+    /// addresses a real node's addrman draws from. Per-node address-book
+    /// state is what drives Figure 7 — more *simulated reachable* nodes
+    /// would only slow the event loop without changing the rate.
+    pub fn full(seed: u64) -> Self {
+        SuccessRateConfig {
+            n_phantoms: 40_000,
+            seed_phantoms: 3_500,
+            ..Self::paper(seed)
+        }
+    }
+
     /// Faster test variant.
     pub fn quick(seed: u64) -> Self {
         SuccessRateConfig {
@@ -177,6 +190,7 @@ impl Experiment for SuccessRateExperiment {
     fn configure(&mut self, scale: Scale, seed: u64) {
         self.cfg = Some(match scale {
             Scale::Quick => SuccessRateConfig::quick(seed),
+            Scale::Full => SuccessRateConfig::full(seed),
             _ => SuccessRateConfig::paper(seed),
         });
     }

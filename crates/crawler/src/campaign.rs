@@ -113,12 +113,20 @@ impl Campaign {
             probe_start_day: self.probe_start_day,
             ..CampaignResult::default()
         };
+        // Address → census index, built once: the per-day Figure 3d check
+        // below was a linear scan over all reachable nodes per DNS address,
+        // which is quadratic over a full-scale campaign.
+        let node_index = net.reachable_index();
         for day in 0..net.cfg.days {
             let t = day as f64 + 0.5;
             let snap = feeds.pull(net, t, rng);
-            let crawl = self
-                .crawler
-                .run_experiment_recorded(net, &snap.candidates, t, rng, rec);
+            let crawl = if net.cfg.sampled_crawl {
+                self.crawler
+                    .run_experiment_sampled(net, &snap.candidates, t, rng, rec)
+            } else {
+                self.crawler
+                    .run_experiment_recorded(net, &snap.candidates, t, rng, rec)
+            };
 
             // Figure 3d: connected nodes absent from Bitnodes.
             let bitnodes_set: HashSet<&NetAddr> = snap.bitnodes.iter().collect();
@@ -129,10 +137,9 @@ impl Campaign {
                 .filter(|a| {
                     !bitnodes_set.contains(a)
                         && candidate_set.contains(a)
-                        && net
-                            .reachable
-                            .iter()
-                            .any(|n| n.addr == **a && n.online_at(t))
+                        && node_index
+                            .get(a)
+                            .is_some_and(|&i| net.reachable[i].online_at(t))
                 })
                 .count();
 
@@ -295,6 +302,47 @@ mod tests {
         for (addr, total) in &detected {
             assert!(flooder_addrs.contains(addr));
             assert!(*total > 1000);
+        }
+    }
+
+    #[test]
+    fn sampled_campaign_matches_exact_shape() {
+        let mut rng = SimRng::seed_from(31);
+        let net = CensusNetwork::generate(
+            CensusConfig {
+                sampled_crawl: true,
+                ..CensusConfig::tiny()
+            },
+            &mut rng,
+        );
+        let campaign = Campaign {
+            probe_start_day: 2,
+            ..Campaign::default()
+        };
+        let result = campaign.run(&net, &mut rng);
+        assert_eq!(result.days.len(), net.cfg.days as usize);
+        for w in result.days.windows(2) {
+            assert!(w[1].unreachable_cumulative >= w[0].unreachable_cumulative);
+            assert!(w[1].responsive_cumulative >= w[0].responsive_cumulative);
+        }
+        let last = result.days.last().unwrap();
+        assert!(last.unreachable_cumulative > last.unreachable_today);
+        let frac = result.reachable_addr_fraction();
+        assert!(frac > 0.0 && frac < 0.35, "reachable ADDR fraction {frac}");
+        // Flooder detection works identically off the sampled sender stats.
+        // A flooder whose sessions never overlap a crawl day is invisible
+        // to any crawler, so the ground truth is the *connected* flooders.
+        let detected = result.detect_malicious(1000);
+        let flooder_addrs: HashSet<NetAddr> = net
+            .reachable
+            .iter()
+            .filter(|n| n.malicious && result.all_connected.contains(&n.addr))
+            .map(|n| n.addr)
+            .collect();
+        assert!(!flooder_addrs.is_empty(), "no flooder ever crawled");
+        assert_eq!(detected.len(), flooder_addrs.len());
+        for (addr, _) in &detected {
+            assert!(flooder_addrs.contains(addr));
         }
     }
 

@@ -72,6 +72,14 @@ pub struct CensusConfig {
     pub n_malicious: usize,
     /// Fraction of flooders hosted in AS3320 (paper: 59%).
     pub malicious_as3320_fraction: f64,
+    /// Store honest address books compactly (sizes only, no index vectors)
+    /// and drive the campaign through the closed-form crawl
+    /// (`Crawler::run_experiment_sampled`). Required at full paper scale:
+    /// materialized books cost ~34K unique nodes × 8K entries × 4 B ≈ 1 GB,
+    /// and exhausting each of them through per-`GETADDR` simulation is
+    /// ~10¹¹ operations per campaign. Flooder pools stay materialized in
+    /// either mode (Figure 8 needs their exact addresses).
+    pub sampled_crawl: bool,
 }
 
 impl CensusConfig {
@@ -93,6 +101,19 @@ impl CensusConfig {
             arrival_rejoin_factor: 1.0,
             n_malicious: 73,
             malicious_as3320_fraction: 0.59,
+            sampled_crawl: false,
+        }
+    }
+
+    /// Full paper scale behind the fast paths: identical counts to
+    /// [`CensusConfig::paper_scale`], but honest books are compact and the
+    /// campaign runs the closed-form crawl, keeping a 60-day campaign
+    /// (10K reachable snapshot, ~700K cumulative unreachable) within
+    /// minutes on one core. This is what `repro --scale full` runs.
+    pub fn full_scale() -> Self {
+        CensusConfig {
+            sampled_crawl: true,
+            ..Self::paper_scale()
         }
     }
 
@@ -148,6 +169,12 @@ pub struct CensusNode {
     /// Indices of reachable census nodes this node also gossips (honest
     /// nodes only; the ~15% reachable share of real ADDR messages).
     pub book_reachable: Vec<u32>,
+    /// Book size in unreachable-pool entries. Mirrors `book.len()` when
+    /// books are materialized; under `CensusConfig::sampled_crawl` it is
+    /// the only record honest nodes keep.
+    pub book_size: u32,
+    /// As `book_size`, for the reachable share of the book.
+    pub book_reachable_size: u32,
     /// Whether it never leaves during the window.
     pub permanent: bool,
 }
@@ -344,6 +371,8 @@ impl CensusNetwork {
                 malicious,
                 book: Vec::new(),
                 book_reachable: Vec::new(),
+                book_size: 0,
+                book_reachable_size: 0,
                 permanent: permanent || malicious,
             });
         }
@@ -381,6 +410,8 @@ impl CensusNetwork {
                 malicious: false,
                 book: Vec::new(),
                 book_reachable: Vec::new(),
+                book_size: 0,
+                book_reachable_size: 0,
                 permanent: false,
             });
         }
@@ -407,25 +438,30 @@ impl CensusNetwork {
                 node.book = (start..start + size as u32)
                     .map(|i| flood_base + i)
                     .collect();
+                node.book_size = size as u32;
             } else {
                 // Log-normal-ish spread around the mean book size.
                 let size = ((cfg.book_mean as f64) * rng.log_normal(0.0, 0.5))
                     .max(50.0)
                     .min(n_unreach as f64) as usize;
-                node.book = rng
-                    .sample_indices(n_unreach, size)
-                    .into_iter()
-                    .map(|i| i as u32)
-                    .collect();
                 // Reachable share r of the total book: r/(1-r) × unreachable.
                 let reach_size = (size as f64 * cfg.book_reachable_fraction
                     / (1.0 - cfg.book_reachable_fraction))
                     .round() as usize;
-                node.book_reachable = rng
-                    .sample_indices(n_reach_total, reach_size)
-                    .into_iter()
-                    .map(|i| i as u32)
-                    .collect();
+                node.book_size = size as u32;
+                node.book_reachable_size = reach_size as u32;
+                if !cfg.sampled_crawl {
+                    node.book = rng
+                        .sample_indices(n_unreach, size)
+                        .into_iter()
+                        .map(|i| i as u32)
+                        .collect();
+                    node.book_reachable = rng
+                        .sample_indices(n_reach_total, reach_size)
+                        .into_iter()
+                        .map(|i| i as u32)
+                        .collect();
+                }
             }
         }
 
@@ -437,6 +473,17 @@ impl CensusNetwork {
             flood_base,
             reachable_addrs,
         }
+    }
+
+    /// Endpoint → index over every reachable census node. Built once and
+    /// reused, this replaces the linear `reachable` scans that are
+    /// quadratic over a full-scale campaign.
+    pub fn reachable_index(&self) -> std::collections::HashMap<NetAddr, usize> {
+        self.reachable
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.addr, i))
+            .collect()
     }
 
     /// Indices of reachable nodes online at fractional `day`.
@@ -636,6 +683,45 @@ mod tests {
         assert_eq!(na.reachable.len(), nb.reachable.len());
         assert_eq!(na.unreachable.len(), nb.unreachable.len());
         assert_eq!(na.reachable[0].addr, nb.reachable[0].addr);
+    }
+
+    #[test]
+    fn compact_books_keep_sizes_but_not_indices() {
+        let mut rng = SimRng::seed_from(1);
+        let cfg = CensusConfig {
+            sampled_crawl: true,
+            ..CensusConfig::tiny()
+        };
+        let net = CensusNetwork::generate(cfg, &mut rng);
+        for n in &net.reachable {
+            if n.malicious {
+                // Flooder pools stay materialized in compact mode.
+                assert_eq!(n.book.len(), n.book_size as usize);
+                assert!(n.book_size >= 150);
+            } else {
+                assert!(n.book.is_empty() && n.book_reachable.is_empty());
+                assert!(n.book_size >= 50);
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_books_mirror_sizes() {
+        let net = tiny();
+        for n in &net.reachable {
+            assert_eq!(n.book.len(), n.book_size as usize);
+            assert_eq!(n.book_reachable.len(), n.book_reachable_size as usize);
+        }
+    }
+
+    #[test]
+    fn reachable_index_is_total_and_consistent() {
+        let net = tiny();
+        let index = net.reachable_index();
+        assert_eq!(index.len(), net.reachable.len());
+        for (i, n) in net.reachable.iter().enumerate() {
+            assert_eq!(index[&n.addr], i);
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@ use bitsync_sim::metrics::Recorder;
 use bitsync_sim::rng::SimRng;
 use std::collections::HashSet;
 
+/// Addresses per `ADDR` response (the protocol's message cap).
+const ADDRS_PER_RESPONSE: usize = 1000;
+
 /// Canonical metric names the crawler reports into a [`Recorder`].
 pub mod metric {
     /// `GETADDR` round-trips issued by Algorithm 1 (counter).
@@ -110,7 +113,7 @@ impl Crawler {
             }
             // One ADDR response: up to 1000 sampled entries + self address
             // (honest nodes only; flooders omit themselves).
-            let batch_size = 1000.min(live.len());
+            let batch_size = ADDRS_PER_RESPONSE.min(live.len());
             let mut new_any = false;
             if batch_size > 0 {
                 for i in rng.sample_indices(live.len(), batch_size) {
@@ -198,6 +201,116 @@ impl Crawler {
         }
         result
     }
+
+    /// Closed-form variant of [`Crawler::run_experiment_recorded`] for
+    /// full-scale campaigns over compact books
+    /// (`CensusConfig::sampled_crawl`).
+    ///
+    /// The exact crawl runs Algorithm 1 to exhaustion, so its outcome is a
+    /// function of each book's *membership*, not of the sampling path: an
+    /// honest node ultimately reveals every live entry of its book plus its
+    /// own address. This variant draws the per-node live counts from their
+    /// distributions (binomial over the live fraction, normal-approximated)
+    /// and unions the discovered set directly. With ~10K books of ~8K
+    /// uniform samples over a ~700K pool, the probability that any given
+    /// live address escapes every book is (1 − 8000/700000)^10000 < 10⁻⁴⁹,
+    /// so the day's discovered set is the live pool itself plus the pools
+    /// of online flooders.
+    pub fn run_experiment_sampled(
+        &self,
+        net: &CensusNetwork,
+        candidates: &[NetAddr],
+        day: f64,
+        rng: &mut SimRng,
+        rec: Option<&Recorder>,
+    ) -> CrawlResult {
+        let mut result = CrawlResult {
+            candidates: candidates.len(),
+            ..CrawlResult::default()
+        };
+        let index = net.reachable_index();
+        // Today's live unreachable pool and the live fraction of the
+        // all-time pool honest books were sampled from.
+        let live: Vec<NetAddr> = net
+            .unreachable
+            .iter()
+            .filter(|u| u.appears <= day && day < u.disappears)
+            .map(|u| u.addr)
+            .collect();
+        let p_live = live.len() as f64 / net.unreachable.len().max(1) as f64;
+        // Reachable book entries gossip while online today or yesterday
+        // (matching the staleness window of the exact crawl).
+        let gossiped = net
+            .reachable
+            .iter()
+            .filter(|n| n.online_at(day) || n.online_at(day - 1.0))
+            .count();
+        let p_reach = gossiped as f64 / net.reachable.len().max(1) as f64;
+
+        for addr in candidates {
+            let Some(&idx) = index.get(addr) else {
+                continue;
+            };
+            let node = &net.reachable[idx];
+            if !node.online_at(day) {
+                continue;
+            }
+            result.connected += 1;
+            let (revealed, reachable_revealed) = if node.malicious {
+                // A flooder's fabricated pool always circulates in full and
+                // never includes its own (reachable) address.
+                for &i in &node.book {
+                    result.unreachable_found.insert(net.book_addr(i));
+                }
+                (node.book.len() as u64, 0u64)
+            } else {
+                let k_book = binomial_approx(u64::from(node.book_size), p_live, rng);
+                let k_reach = binomial_approx(u64::from(node.book_reachable_size), p_reach, rng);
+                // +1: the node's own address, appended to every response.
+                (k_book + k_reach + 1, k_reach + 1)
+            };
+            let rounds = expected_exhaustion_rounds(revealed);
+            if let Some(rec) = rec {
+                rec.inc(metric::NODES_CRAWLED, 1);
+                rec.inc(metric::GETADDR_ROUNDS, rounds);
+                rec.inc(metric::ADDRS_REVEALED, revealed);
+            }
+            result
+                .sender_stats
+                .push((*addr, revealed, reachable_revealed));
+        }
+        if result.connected > 0 {
+            result.unreachable_found.extend(live);
+        }
+        result
+    }
+}
+
+/// Expected Algorithm-1 round-trips to exhaust `n` addresses at
+/// [`ADDRS_PER_RESPONSE`] uniformly sampled entries per response, plus the
+/// terminating no-news round: the coupon-collector bound n·ln(n)/batch.
+fn expected_exhaustion_rounds(n: u64) -> u64 {
+    if n == 0 {
+        return 1;
+    }
+    let n = n as f64;
+    (n * n.ln().max(1.0) / ADDRS_PER_RESPONSE as f64).ceil() as u64 + 1
+}
+
+/// Binomial(n, p) through the normal approximation, clamped to `[0, n]`.
+/// Book live-counts have n in the thousands, where the approximation error
+/// is far below the day-to-day churn noise; one normal draw keeps the
+/// sampled crawl O(1) per node instead of O(book).
+fn binomial_approx(n: u64, p: f64, rng: &mut SimRng) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    rng.normal(mean, sd).round().clamp(0.0, n as f64) as u64
 }
 
 /// Algorithm 2: probe every address in `targets` with a crafted VER
@@ -394,6 +507,111 @@ mod tests {
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.refused_fin, 1);
         assert_eq!(stats.silent, 1);
+    }
+
+    #[test]
+    fn sampled_experiment_tracks_exact_one() {
+        // Same tiny world, exact vs closed-form crawl: the discovered set
+        // and per-sender totals must agree to within sampling noise.
+        let (net, mut rng) = setup();
+        let candidates: Vec<NetAddr> = net
+            .online_at(0.5)
+            .into_iter()
+            .map(|i| net.reachable[i].addr)
+            .collect();
+        let exact = Crawler::default().run_experiment(&net, &candidates, 0.5, &mut rng);
+        let sampled =
+            Crawler::default().run_experiment_sampled(&net, &candidates, 0.5, &mut rng, None);
+        assert_eq!(sampled.connected, exact.connected);
+        assert_eq!(sampled.candidates, exact.candidates);
+        // Exact union covers *almost* all live addresses; sampled covers all
+        // of them plus the same flooder pools.
+        assert!(sampled.unreachable_found.len() >= exact.unreachable_found.len());
+        let found = sampled.unreachable_found.len() as f64;
+        assert!(
+            (found - exact.unreachable_found.len() as f64) / found < 0.15,
+            "sampled {found} vs exact {}",
+            exact.unreachable_found.len()
+        );
+        for a in &sampled.unreachable_found {
+            assert!(!net.reachable_addrs.contains(a));
+        }
+        let totals = |r: &CrawlResult| r.sender_stats.iter().map(|s| s.1).sum::<u64>() as f64;
+        let (te, ts) = (totals(&exact), totals(&sampled));
+        assert!(
+            (ts - te).abs() / te < 0.25,
+            "totals exact {te} sampled {ts}"
+        );
+    }
+
+    #[test]
+    fn sampled_experiment_works_on_compact_books() {
+        let mut rng = SimRng::seed_from(11);
+        let net = CensusNetwork::generate(
+            CensusConfig {
+                sampled_crawl: true,
+                ..CensusConfig::tiny()
+            },
+            &mut rng,
+        );
+        let candidates: Vec<NetAddr> = net
+            .online_at(0.5)
+            .into_iter()
+            .map(|i| net.reachable[i].addr)
+            .collect();
+        let result =
+            Crawler::default().run_experiment_sampled(&net, &candidates, 0.5, &mut rng, None);
+        assert!(result.connected > 0);
+        assert!(result.unreachable_found.len() > 100);
+        // Honest senders reveal their own address; flooders reveal none.
+        let flooders: HashSet<NetAddr> = net
+            .reachable
+            .iter()
+            .filter(|n| n.malicious)
+            .map(|n| n.addr)
+            .collect();
+        for (sender, total, reachable) in &result.sender_stats {
+            if flooders.contains(sender) {
+                assert_eq!(*reachable, 0);
+                assert!(*total >= 150);
+            } else {
+                assert!(*reachable >= 1);
+                assert!(*total >= *reachable);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_rounds_estimate_is_monotone() {
+        assert_eq!(expected_exhaustion_rounds(0), 1);
+        let mut prev = 0;
+        for n in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            let r = expected_exhaustion_rounds(n);
+            assert!(r >= prev, "rounds({n}) = {r} < {prev}");
+            prev = r;
+        }
+        // A 8K-entry book takes on the order of 70–80 round-trips, as the
+        // exact crawl does.
+        let r = expected_exhaustion_rounds(8_000);
+        assert!((40..=120).contains(&r), "rounds(8000) = {r}");
+    }
+
+    #[test]
+    fn binomial_approx_matches_moments() {
+        let mut rng = SimRng::seed_from(3);
+        let (n, p, draws) = (8_000u64, 0.28, 2_000);
+        let mut sum = 0.0;
+        for _ in 0..draws {
+            let k = binomial_approx(n, p, &mut rng);
+            assert!(k <= n);
+            sum += k as f64;
+        }
+        let mean = sum / draws as f64;
+        let expect = n as f64 * p;
+        assert!((mean - expect).abs() < 0.02 * expect, "mean {mean}");
+        assert_eq!(binomial_approx(0, 0.5, &mut rng), 0);
+        assert_eq!(binomial_approx(10, 0.0, &mut rng), 0);
+        assert_eq!(binomial_approx(10, 1.0, &mut rng), 10);
     }
 
     #[test]

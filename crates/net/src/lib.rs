@@ -19,7 +19,7 @@
 //!
 //! let mut rng = SimRng::seed_from(1);
 //! let pop = Population::generate(&PopulationConfig::tiny(), &mut rng);
-//! assert!(pop.unreachable().len() > pop.reachable().len());
+//! assert!(pop.unreachable_len() > pop.reachable_len());
 //! ```
 
 pub mod as_model;
@@ -30,7 +30,9 @@ pub mod population;
 pub use as_model::AsModel;
 pub use churn::{ChurnConfig, ChurnModel, Rejoin};
 pub use latency::{LatencyConfig, LatencyModel};
-pub use population::{NodeClass, NodeSpec, Population, PopulationConfig, ProbeOutcome};
+pub use population::{
+    AddrId, AddrTable, NodeClass, NodeSpec, Population, PopulationConfig, ProbeOutcome,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -52,10 +54,11 @@ mod proptests {
             };
             let mut rng = SimRng::seed_from(seed);
             let pop = Population::generate(&cfg, &mut rng);
-            prop_assert_eq!(pop.reachable().len(), n_reach);
-            prop_assert_eq!(pop.unreachable().len(), n_unreach);
-            let addrs: std::collections::HashSet<_> = pop.nodes.iter().map(|n| n.addr).collect();
+            prop_assert_eq!(pop.reachable_len(), n_reach);
+            prop_assert_eq!(pop.unreachable_len(), n_unreach);
+            let addrs: std::collections::HashSet<_> = pop.iter().map(|n| n.addr).collect();
             prop_assert_eq!(addrs.len(), pop.len());
+            prop_assert_eq!(pop.addr_table().len(), pop.len());
             for node in pop.reachable() {
                 prop_assert_eq!(node.probe(), ProbeOutcome::Accepted);
             }

@@ -5,10 +5,29 @@
 //! instants; the driver pops them in `(time, sequence)` order. Two events at
 //! the same instant are delivered in scheduling order, which keeps runs
 //! bit-for-bit reproducible.
+//!
+//! # Backends
+//!
+//! Two interchangeable cores implement the same `(time, seq)` order:
+//!
+//! - [`Backend::Wheel`] (the default): a hierarchical timer wheel — eight
+//!   levels of 64 slots each (6 bits per level, 1 ns granularity, ~3.26 days
+//!   of span) with per-level occupancy bitmaps, cascading far slots down as
+//!   the clock advances and spilling anything beyond the span into an
+//!   overflow heap. Push is O(1); pop is O(1) amortized for the near-future
+//!   workloads the simulator generates, which is what makes full paper-scale
+//!   populations practical on one core.
+//! - [`Backend::Heap`]: the original `BinaryHeap` implementation, kept as a
+//!   differential-test oracle and selectable at build time with the
+//!   `heap-queue` cargo feature.
+//!
+//! Both backends produce byte-identical experiment output; the differential
+//! tests in `tests/` hold them to that.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 
 /// Opaque handle to a scheduled event, usable with [`EventQueue::cancel`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -18,6 +37,12 @@ struct Scheduled<E> {
     at: SimTime,
     seq: u64,
     event: E,
+}
+
+impl<E> Scheduled<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -41,6 +66,303 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Which event-queue core a queue runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Hierarchical timer wheel (default; fast at scale).
+    Wheel,
+    /// Legacy binary heap (test oracle).
+    Heap,
+}
+
+/// 0 = wheel, 1 = heap. The `heap-queue` feature flips the compiled-in
+/// default so the whole workspace can be exercised against the oracle.
+static DEFAULT_BACKEND: AtomicU8 = AtomicU8::new(if cfg!(feature = "heap-queue") { 1 } else { 0 });
+
+/// The backend new queues are created with (see [`set_default_backend`]).
+pub fn default_backend() -> Backend {
+    if DEFAULT_BACKEND.load(AtomicOrdering::Relaxed) == 1 {
+        Backend::Heap
+    } else {
+        Backend::Wheel
+    }
+}
+
+/// Overrides the backend used by [`EventQueue::new`] process-wide.
+///
+/// Intended for differential tests that run the same experiment on both
+/// cores in one process; production code should leave the default alone.
+pub fn set_default_backend(backend: Backend) {
+    let v = match backend {
+        Backend::Wheel => 0,
+        Backend::Heap => 1,
+    };
+    DEFAULT_BACKEND.store(v, AtomicOrdering::Relaxed);
+}
+
+/// Bits per wheel level: 64 slots each.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of levels. Total span 64^8 ns = 2^48 ns ≈ 3.26 simulated days;
+/// anything farther out lands in the overflow heap.
+const LEVELS: usize = 8;
+/// Deltas at or beyond this go to the overflow heap.
+const WHEEL_SPAN: u64 = 1 << (LEVEL_BITS * LEVELS as u32);
+
+/// The hierarchical timer wheel core.
+///
+/// Invariant: `base` never exceeds the timestamp of any entry stored in the
+/// wheel slots. `base` only advances to the lower bound of a processed slot,
+/// which (being the minimum over all slot bounds at that moment) is itself a
+/// lower bound on every pending wheel entry. Entries scheduled *behind*
+/// `base` (possible after [`EventQueue::peek_time`] has settled the wheel
+/// forward) go to the exact-ordered `front` heap instead.
+///
+/// Consequence (used by the level-0 drain): all entries in one level-0 slot
+/// share a single absolute timestamp — each was inserted with
+/// `at - base_at_insert < 64`, `base` only grows while staying ≤ `at`, so
+/// every entry in slot `s` satisfies `at ≡ s (mod 64)` and
+/// `base ≤ at < base + 64`, pinning `at` to one value.
+struct WheelCore<E> {
+    /// Lower bound (ns) for every entry currently in `slots`.
+    base: u64,
+    /// `LEVELS * SLOTS` buckets; index `level * SLOTS + slot`.
+    slots: Vec<Vec<Scheduled<E>>>,
+    /// Per-level bitmap of non-empty slots.
+    occupancy: [u64; LEVELS],
+    /// A drained level-0 slot, in `seq` order; all entries share one `at`.
+    ready: VecDeque<Scheduled<E>>,
+    /// Entries scheduled ≥ `WHEEL_SPAN` past `base` (exact order).
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// Entries scheduled before `base` (exact order; rare, see above).
+    front: BinaryHeap<Scheduled<E>>,
+    /// Total entries held (slots + ready + overflow + front).
+    count: usize,
+}
+
+impl<E> WheelCore<E> {
+    fn new() -> Self {
+        WheelCore {
+            base: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS],
+            ready: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+            front: BinaryHeap::new(),
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, entry: Scheduled<E>) {
+        self.count += 1;
+        self.place(entry);
+    }
+
+    /// Routes an entry to a wheel slot or one of the exact-ordered stores
+    /// (does not touch `count`; cascades re-place without re-counting).
+    fn place(&mut self, entry: Scheduled<E>) {
+        let at = entry.at.as_nanos();
+        if at < self.base {
+            self.front.push(entry);
+            return;
+        }
+        let delta = at - self.base;
+        if delta >= WHEEL_SPAN {
+            self.overflow.push(entry);
+            return;
+        }
+        let level = Self::level_for(delta);
+        let digit_shift = LEVEL_BITS * level as u32;
+        let slot = ((at >> digit_shift) & (SLOTS as u64 - 1)) as usize;
+        let cur = ((self.base >> digit_shift) & (SLOTS as u64 - 1)) as usize;
+        if slot == cur {
+            // The current slot's bound is `base` itself, so it may only hold
+            // current-cycle entries (at < end of this level's window);
+            // otherwise reprocessing it could never advance `base`. An entry
+            // a full cycle ahead that still hashes here (its sub-digit
+            // remainder is below base's low bits) is exact-ordered instead.
+            let window_span = 1u64 << (LEVEL_BITS * (level as u32 + 1));
+            let window = self.base & !(window_span - 1);
+            if at >= window.saturating_add(window_span) {
+                self.overflow.push(entry);
+                return;
+            }
+        }
+        self.slots[level * SLOTS + slot].push(entry);
+        self.occupancy[level] |= 1 << slot;
+    }
+
+    /// The level whose span covers `delta`: level `l` holds deltas in
+    /// `[64^l, 64^(l+1))` (level 0 also holds zero).
+    fn level_for(delta: u64) -> usize {
+        if delta == 0 {
+            return 0;
+        }
+        (63 - delta.leading_zeros() as usize) / LEVEL_BITS as usize
+    }
+
+    /// Earliest possible timestamp of any entry in `slot` at `level`, given
+    /// the current `base`. Slots at or ahead of the base digit belong to the
+    /// current cycle; slots behind it wrap to the next one.
+    fn slot_bound(&self, level: usize, slot: usize) -> u64 {
+        let digit_shift = LEVEL_BITS * level as u32;
+        let window_shift = LEVEL_BITS * (level as u32 + 1);
+        let cur = ((self.base >> digit_shift) & (SLOTS as u64 - 1)) as usize;
+        if slot == cur {
+            return self.base;
+        }
+        let window = self.base & !((1u64 << window_shift) - 1);
+        let start = window + ((slot as u64) << digit_shift);
+        if slot > cur {
+            start
+        } else {
+            start.saturating_add(1u64 << window_shift)
+        }
+    }
+
+    /// The occupied slot with the smallest lower bound, preferring the
+    /// highest level on ties so same-instant entries cascade down into the
+    /// level-0 slot *before* it drains (this is what preserves seq order
+    /// across levels). Within a level the smallest bound is the first
+    /// occupied slot in rotation order from the base digit.
+    fn next_wheel_slot(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for level in 0..LEVELS {
+            let occ = self.occupancy[level];
+            if occ == 0 {
+                continue;
+            }
+            let cur = ((self.base >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            let offset = occ.rotate_right(cur as u32).trailing_zeros() as usize;
+            let slot = (cur + offset) % SLOTS;
+            let bound = self.slot_bound(level, slot);
+            // Ascending level scan: replace on a strictly smaller bound or
+            // an equal bound at this (higher) level.
+            if best.is_none_or(|(_, _, b)| bound <= b) {
+                best = Some((level, slot, bound));
+            }
+        }
+        best
+    }
+
+    /// Smallest exact `(at, seq)` among the three exact-ordered stores.
+    fn exact_min_key(&self) -> Option<(SimTime, u64)> {
+        let mut min: Option<(SimTime, u64)> = None;
+        for key in [
+            self.ready.front().map(Scheduled::key),
+            self.overflow.peek().map(Scheduled::key),
+            self.front.peek().map(Scheduled::key),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if min.is_none_or(|m| key < m) {
+                min = Some(key);
+            }
+        }
+        min
+    }
+
+    /// Processes wheel slots until the global minimum sits at the head of an
+    /// exact-ordered store (or the wheel is empty). Level-0 slots drain into
+    /// `ready`; higher slots cascade to strictly lower levels. Terminates
+    /// because every entry can cascade at most `LEVELS - 1` times.
+    fn settle(&mut self) {
+        loop {
+            let Some((level, slot, bound)) = self.next_wheel_slot() else {
+                return;
+            };
+            let exact = self.exact_min_key();
+            if exact.is_some_and(|(at, _)| bound > at.as_nanos()) {
+                return;
+            }
+            self.process_slot(level, slot, bound);
+        }
+    }
+
+    fn process_slot(&mut self, level: usize, slot: usize, bound: u64) {
+        let mut entries = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+        self.occupancy[level] &= !(1 << slot);
+        // `bound` is ≤ the minimum over all slot bounds and every exact-store
+        // head here, so advancing `base` to it keeps base ≤ all pending.
+        self.base = bound;
+        if level == 0 {
+            // One timestamp per level-0 slot (struct invariant), so seq
+            // order within the slot is the only order that matters.
+            debug_assert!(entries.iter().all(|e| e.at.as_nanos() == bound));
+            entries.sort_unstable_by_key(|e| e.seq);
+            if let Some(back) = self.ready.back() {
+                // A non-empty `ready` can only be merged with the same
+                // instant, and only by entries scheduled after it drained.
+                debug_assert_eq!(back.at.as_nanos(), bound);
+                debug_assert!(entries.first().is_none_or(|e| e.seq > back.seq));
+            }
+            self.ready.extend(entries);
+        } else {
+            // Every entry satisfies at - bound < 64^level (it sits in the
+            // window this slot now occupies), so re-placing it lands at a
+            // strictly lower level.
+            for entry in entries {
+                self.place(entry);
+            }
+        }
+    }
+
+    fn peek_min(&mut self) -> Option<(SimTime, u64)> {
+        self.settle();
+        self.exact_min_key()
+    }
+
+    fn pop_min(&mut self) -> Option<Scheduled<E>> {
+        self.settle();
+        let key = self.exact_min_key()?;
+        self.count -= 1;
+        if self.ready.front().is_some_and(|e| e.key() == key) {
+            return self.ready.pop_front();
+        }
+        if self.overflow.peek().is_some_and(|e| e.key() == key) {
+            return self.overflow.pop();
+        }
+        self.front.pop()
+    }
+}
+
+enum Core<E> {
+    Wheel(WheelCore<E>),
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
+impl<E> Core<E> {
+    fn push(&mut self, entry: Scheduled<E>) {
+        match self {
+            Core::Wheel(w) => w.push(entry),
+            Core::Heap(h) => h.push(entry),
+        }
+    }
+
+    fn peek_min(&mut self) -> Option<(SimTime, u64)> {
+        match self {
+            Core::Wheel(w) => w.peek_min(),
+            Core::Heap(h) => h.peek().map(Scheduled::key),
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Scheduled<E>> {
+        match self {
+            Core::Wheel(w) => w.pop_min(),
+            Core::Heap(h) => h.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Core::Wheel(w) => w.count,
+            Core::Heap(h) => h.len(),
+        }
+    }
+}
+
 /// A deterministic discrete-event queue.
 ///
 /// # Examples
@@ -55,25 +377,46 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop().unwrap().1, "sooner");
 /// assert_eq!(q.now(), SimTime::from_secs(1));
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    core: Core<E>,
+    backend: Backend,
     cancelled: HashSet<u64>,
     now: SimTime,
     next_seq: u64,
     popped: u64,
 }
 
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at time zero.
+    /// Creates an empty queue at time zero on the process-default backend.
     pub fn new() -> Self {
+        Self::with_backend(default_backend())
+    }
+
+    /// Creates an empty queue at time zero on an explicit backend.
+    pub fn with_backend(backend: Backend) -> Self {
+        let core = match backend {
+            Backend::Wheel => Core::Wheel(WheelCore::new()),
+            Backend::Heap => Core::Heap(BinaryHeap::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            core,
+            backend,
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
         }
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The current simulated instant (the timestamp of the last popped
@@ -89,12 +432,12 @@ impl<E> EventQueue<E> {
 
     /// Number of events still pending (including lazily cancelled ones).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.core.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.core.len() == 0
     }
 
     /// Schedules `event` at absolute instant `at`.
@@ -110,7 +453,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.core.push(Scheduled { at, seq, event });
         EventId(seq)
     }
 
@@ -121,7 +464,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a scheduled event. Cancellation is lazy: the entry stays in
-    /// the heap but is skipped when popped. Cancelling an already-fired or
+    /// the queue but is skipped when popped. Cancelling an already-fired or
     /// unknown id is a no-op.
     pub fn cancel(&mut self, id: EventId) {
         self.cancelled.insert(id.0);
@@ -130,7 +473,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest pending event, advancing [`EventQueue::now`] to its
     /// timestamp. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(s) = self.heap.pop() {
+        while let Some(s) = self.core.pop_min() {
             if self.cancelled.remove(&s.seq) {
                 continue;
             }
@@ -145,11 +488,11 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event only if it fires at or before `deadline`.
     pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
         loop {
-            let at = self.heap.peek()?.at;
+            let (at, _) = self.core.peek_min()?;
             if at > deadline {
                 return None;
             }
-            let s = self.heap.pop().expect("peeked entry vanished");
+            let s = self.core.pop_min().expect("peeked entry vanished");
             if self.cancelled.remove(&s.seq) {
                 continue;
             }
@@ -161,16 +504,15 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next pending (non-cancelled) event, if any.
     ///
-    /// This compacts lazily-cancelled entries at the head of the heap.
+    /// This compacts lazily-cancelled entries at the head of the queue.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(s) = self.heap.peek() {
-            if self.cancelled.contains(&s.seq) {
-                let seq = s.seq;
-                self.heap.pop();
+        while let Some((at, seq)) = self.core.peek_min() {
+            if self.cancelled.contains(&seq) {
+                self.core.pop_min();
                 self.cancelled.remove(&seq);
                 continue;
             }
-            return Some(s.at);
+            return Some(at);
         }
         None
     }
@@ -355,5 +697,135 @@ mod tests {
         q.pop();
         q.pop();
         assert_eq!(q.events_processed(), 2);
+    }
+
+    /// Runs `scenario` on both backends and asserts identical pop streams.
+    fn assert_backends_agree(scenario: impl Fn(&mut EventQueue<u64>)) {
+        let mut wheel = EventQueue::with_backend(Backend::Wheel);
+        let mut heap = EventQueue::with_backend(Backend::Heap);
+        scenario(&mut wheel);
+        scenario(&mut heap);
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            assert_eq!(w, h, "wheel and heap backends diverged");
+            if w.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.now(), heap.now());
+        assert_eq!(wheel.events_processed(), heap.events_processed());
+    }
+
+    #[test]
+    fn backends_agree_on_mixed_schedule() {
+        assert_backends_agree(|q| {
+            // A spread that exercises several wheel levels plus overflow.
+            for i in 0..200u64 {
+                let at = (i * 7919) % 100_000; // ns-scale, levels 0..3
+                q.schedule(SimTime::from_nanos(at), i);
+            }
+            q.schedule(SimTime::from_secs(400_000), 1000); // overflow (> 3.26 d)
+            q.schedule(SimTime::from_nanos(5), 1001);
+        });
+    }
+
+    #[test]
+    fn backends_agree_with_interleaved_pops_and_cancels() {
+        assert_backends_agree(|q| {
+            let mut ids = Vec::new();
+            for i in 0..50u64 {
+                ids.push(q.schedule(SimTime::from_nanos(i * 37 % 1000), i));
+            }
+            for id in ids.iter().step_by(3) {
+                q.cancel(*id);
+            }
+            // Interleave: pop a few, then schedule relative to the new now.
+            for i in 0..10u64 {
+                q.pop();
+                q.schedule_after(SimDuration::from_nanos(i * 13 + 1), 500 + i);
+            }
+        });
+    }
+
+    #[test]
+    fn wheel_handles_schedule_behind_settled_base() {
+        // peek_time settles the wheel forward; a later schedule at an
+        // earlier (but >= now) instant must still pop first.
+        let mut q = EventQueue::with_backend(Backend::Wheel);
+        q.schedule(SimTime::from_secs(2), 1u32);
+        q.pop(); // now = 2s
+        q.schedule(SimTime::from_secs(1000), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1000)));
+        // The wheel base has settled toward 1000s; schedule before it.
+        q.schedule(SimTime::from_secs(3), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), 3)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1000), 2)));
+    }
+
+    #[test]
+    fn wheel_preserves_seq_order_across_levels_at_same_instant() {
+        // Same instant scheduled from different distances: the first entry
+        // lands at a high level (far future), later ones at lower levels as
+        // the clock closes in. Pop order must still be seq order.
+        let mut q = EventQueue::with_backend(Backend::Wheel);
+        let target = SimTime::from_secs(2);
+        q.schedule(target, 0u32); // far: high level
+        q.schedule(SimTime::from_secs(1), 100);
+        q.pop(); // now = 1s, base advanced
+        q.schedule(target, 1); // nearer: lower level
+        q.schedule(target, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wheel_drains_ready_merge_after_popping_same_instant() {
+        // While delivering a same-instant batch, a handler schedules more
+        // events at that same instant; they must pop after the batch, in
+        // scheduling order.
+        let mut q = EventQueue::with_backend(Backend::Wheel);
+        let t = SimTime::from_secs(1);
+        for i in 0..4u32 {
+            q.schedule(t, i);
+        }
+        assert_eq!(q.pop(), Some((t, 0)));
+        q.schedule(t, 10);
+        q.schedule(t, 11);
+        let rest: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec![1, 2, 3, 10, 11]);
+    }
+
+    #[test]
+    fn wheel_cascades_far_future_through_all_levels() {
+        let mut q = EventQueue::with_backend(Backend::Wheel);
+        // One event per level distance, plus an overflow entry.
+        let mut times: Vec<u64> = (0..LEVELS)
+            .map(|l| 1u64 << (LEVEL_BITS * l as u32))
+            .collect();
+        times.push(WHEEL_SPAN + 12345);
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((at, _)) = q.pop() {
+            assert!(at.as_nanos() >= last);
+            last = at.as_nanos();
+            n += 1;
+        }
+        assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn default_backend_respects_global_override() {
+        // Serial with itself only; other tests never touch the global.
+        let initial = default_backend();
+        set_default_backend(Backend::Heap);
+        assert_eq!(default_backend(), Backend::Heap);
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.backend(), Backend::Heap);
+        set_default_backend(initial);
+        assert_eq!(default_backend(), initial);
     }
 }

@@ -283,6 +283,58 @@ impl Recorder {
     }
 }
 
+/// Peak resident set size of this process in bytes, read from Linux's
+/// `/proc/self/status` `VmHWM` line. `None` on platforms without procfs or
+/// if the line is missing/unparseable.
+///
+/// This is *process-level* observability for perf tracking (the `repro`
+/// binary prints it to stderr alongside event throughput). It must never be
+/// written into a [`Recorder`]: report JSON is required to be byte-identical
+/// across thread counts and machines, and RSS is neither.
+pub fn peak_rss_bytes() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Wall-clock event throughput for a finished run. Same caveat as
+/// [`peak_rss_bytes`]: side-channel reporting only, never part of the
+/// deterministic report JSON.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Events processed during the run.
+    pub events: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+}
+
+impl Throughput {
+    /// Events per wall-clock second (0 for a zero-length run).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for Throughput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} events in {:.2}s ({:.0} events/s)",
+            self.events,
+            self.wall_secs,
+            self.events_per_sec()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +428,32 @@ mod tests {
         assert!(json.find("a.count").unwrap() < json.find("z.count").unwrap());
         assert!(json.contains("\"gauges\""));
         assert!(json.contains("\"histograms\""));
+    }
+
+    #[test]
+    fn peak_rss_is_sane_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // Any running test binary holds at least a few hundred KiB and
+            // far less than a terabyte.
+            assert!(bytes > 100 * 1024, "peak RSS {bytes} implausibly small");
+            assert!(bytes < 1 << 40, "peak RSS {bytes} implausibly large");
+        } else if cfg!(target_os = "linux") {
+            panic!("VmHWM must parse on Linux");
+        }
+    }
+
+    #[test]
+    fn throughput_formats_and_divides() {
+        let t = Throughput {
+            events: 1_000,
+            wall_secs: 2.0,
+        };
+        assert_eq!(t.events_per_sec(), 500.0);
+        assert!(t.to_string().contains("500 events/s"));
+        let zero = Throughput {
+            events: 5,
+            wall_secs: 0.0,
+        };
+        assert_eq!(zero.events_per_sec(), 0.0);
     }
 }

@@ -59,6 +59,47 @@ fn serial_and_parallel_runs_are_byte_identical() {
     }
 }
 
+/// Full-scale determinism: at `--scale full` the sampled census (10K
+/// reachable / ~700K unreachable) and the full-pollution Figure 7 runs
+/// must serialize byte-identically whatever the thread count.
+///
+/// Ignored by default — it takes seconds in release but minutes in debug;
+/// the CI release job runs it via `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full-scale run; exercised by the release CI job"]
+fn full_scale_reports_are_thread_count_invariant() {
+    let run = |threads: usize| -> Vec<Report> {
+        let runner = ExperimentRunner::new(RunnerConfig {
+            scale: Scale::Full,
+            seed: 2021,
+            threads,
+        });
+        runner
+            .run(&["census".to_string(), "fig7".to_string()])
+            .expect("targets resolve")
+            .into_iter()
+            .map(|r| Report {
+                name: r.name.to_string(),
+                seed: r.seed,
+                pretty: r.json.to_string_pretty(),
+                json: r.json,
+            })
+            .collect()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.len(), 2);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "report order must be registry order");
+        assert_eq!(
+            s.pretty, p.pretty,
+            "{}: full-scale serial vs parallel JSON diverged",
+            s.name
+        );
+    }
+}
+
 #[test]
 fn subset_runs_reuse_the_same_per_experiment_seed() {
     let runner = ExperimentRunner::new(RunnerConfig {

@@ -45,6 +45,7 @@ fn census_pipeline_end_to_end() {
 }
 
 #[test]
+#[ignore = "slowest quick-scale run; exercised by the release CI job"]
 fn relay_experiment_end_to_end() {
     let r = relay::run(&relay::RelayConfig::quick(3));
     let blocks = r.block_summary().expect("blocks");
@@ -72,6 +73,7 @@ fn resync_experiment_end_to_end() {
 }
 
 #[test]
+#[ignore = "slowest quick-scale run; exercised by the release CI job"]
 fn ablation_end_to_end() {
     let cfg = ablation::AblationConfig::quick(6);
     let base = ablation::run_arm(&cfg, ablation::Arm::Baseline);
