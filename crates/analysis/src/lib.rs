@@ -23,6 +23,7 @@ pub mod churn;
 pub mod eclipse;
 pub mod kde;
 pub mod propagation;
+pub mod propagation_tree;
 pub mod routing;
 pub mod stats;
 
@@ -32,6 +33,7 @@ pub use churn::{mean_synchronized_departures, ChurnSeries, Departure};
 pub use eclipse::TableExposure;
 pub use kde::Kde;
 pub use propagation::{effective_outdegree, rounds_to_cover};
+pub use propagation_tree::{build_trees, replay_relay_histogram, PropagationTree, TreeNode};
 pub use routing::{plan_hijack, target_shift, HijackPlan, TargetShift};
 pub use stats::{percentile, Histogram, Summary};
 

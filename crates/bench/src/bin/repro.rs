@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--list] [--seed N] [--scale quick|scaled|paper|full] [--threads N]
-//!       [--json DIR] [--metrics] [--only NAME[,NAME...]] <target>...
+//!       [--json DIR] [--metrics] [--trace DIR] [--trace-cap N]
+//!       [--profile PATH] [--only NAME[,NAME...]] <target>...
 //!
 //! targets: all, or any experiment name from `repro --list`
 //!   (rounds, fig6, fig7, relay, census, fig1, resync, partition, ablation);
@@ -11,12 +12,22 @@
 //! ```
 //!
 //! Experiments run independently — `--threads 4` distributes them over
-//! worker threads; the output (text, JSON, metrics) is byte-identical to a
-//! serial run with the same seed. Wall time, event throughput, and peak RSS
-//! go to stderr only, never into the deterministic report JSON.
+//! worker threads; the output (text, JSON, metrics, JSONL traces) is
+//! byte-identical to a serial run with the same seed. Wall time, event
+//! throughput, peak RSS, and the `--profile` phase spans go to stderr /
+//! side files only, never into the deterministic report JSON.
+//!
+//! `--trace DIR` writes per-experiment JSONL event logs under
+//! `DIR/<experiment>/<category>.jsonl` (see EXPERIMENTS.md
+//! §"Observability"); `--trace-cap N` bounds each category's ring buffer
+//! (default 262144 events). `--profile PATH` writes a Chrome trace-event
+//! JSON file loadable in `chrome://tracing` or Perfetto.
 
 use bitsync_core::experiments::{experiment_seed, ExperimentRunner, RunnerConfig, Scale, REGISTRY};
-use bitsync_sim::metrics::{peak_rss_bytes, Throughput};
+use bitsync_core::profile::Profile;
+use bitsync_json::Value;
+use bitsync_sim::metrics::{peak_rss_bytes, Histogram, Throughput};
+use bitsync_sim::trace::DEFAULT_TRACE_CAP;
 
 fn list() {
     println!("available experiments (run with `repro <name>...` or `repro all`):\n");
@@ -26,14 +37,51 @@ fn list() {
     }
 }
 
+/// Rebuilds a [`Histogram`] from its report-JSON serialization and formats
+/// interpolated quantiles; `None` when the entry isn't a histogram object.
+fn quantile_line(json: &Value) -> Option<String> {
+    let bounds: Vec<f64> = json
+        .get("bounds")?
+        .as_array()?
+        .iter()
+        .filter_map(Value::as_f64)
+        .collect();
+    let counts: Vec<u64> = json
+        .get("counts")?
+        .as_array()?
+        .iter()
+        .filter_map(Value::as_u64)
+        .collect();
+    let sum = json.get("sum")?.as_f64()?;
+    let min = json.get("min").and_then(Value::as_f64);
+    let max = json.get("max").and_then(Value::as_f64);
+    let h = Histogram::from_parts(bounds, counts, sum, min, max)?;
+    Some(format!(
+        "p50={} p90={} p99={}",
+        fmt_q(h.quantile(0.5)),
+        fmt_q(h.quantile(0.9)),
+        fmt_q(h.quantile(0.99)),
+    ))
+}
+
+fn fmt_q(q: Option<f64>) -> String {
+    match q {
+        Some(v) => format!("{v:.3}"),
+        None => "-".to_string(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = RunnerConfig {
         scale: Scale::Scaled,
         seed: 2021,
         threads: 1,
+        trace_cap: None,
     };
     let mut json_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut show_metrics = false;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
@@ -55,6 +103,36 @@ fn main() {
                     std::process::exit(2);
                 }
                 json_dir = Some(dir);
+            }
+            "--trace" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--trace needs a directory"))
+                    .clone();
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("error: cannot create {dir}: {e}");
+                    std::process::exit(2);
+                }
+                trace_dir = Some(dir);
+                cfg.trace_cap.get_or_insert(DEFAULT_TRACE_CAP);
+            }
+            "--trace-cap" => {
+                i += 1;
+                cfg.trace_cap = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--trace-cap needs a positive event count")),
+                );
+            }
+            "--profile" => {
+                i += 1;
+                profile_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--profile needs a file path"))
+                        .clone(),
+                );
             }
             "--seed" => {
                 i += 1;
@@ -98,6 +176,9 @@ fn main() {
     if targets.is_empty() {
         usage("no target given");
     }
+    if trace_dir.is_none() && cfg.trace_cap.is_some() {
+        usage("--trace-cap requires --trace DIR");
+    }
 
     let runner = ExperimentRunner::new(cfg);
     let started = std::time::Instant::now();
@@ -127,6 +208,13 @@ fn main() {
             if let Some(metrics) = report.json.get("metrics") {
                 println!("metrics [{}]:", report.name);
                 println!("{}", metrics.to_string_pretty());
+                if let Some(Value::Object(hists)) = metrics.get("histograms") {
+                    for (name, h) in hists {
+                        if let Some(line) = quantile_line(h) {
+                            println!("quantiles [{}] {name}: {line}", report.name);
+                        }
+                    }
+                }
             }
         }
         println!();
@@ -134,6 +222,22 @@ fn main() {
             let path = std::path::Path::new(dir).join(format!("{}.json", report.artifact));
             if let Err(e) = std::fs::write(&path, report.json.to_string_pretty()) {
                 eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        if let (Some(dir), Some(log)) = (&trace_dir, &report.trace) {
+            let sub = std::path::Path::new(dir).join(report.name);
+            match std::fs::create_dir_all(&sub).and_then(|()| log.write_dir(&sub)) {
+                Ok(files) => {
+                    eprintln!(
+                        "[trace] {}: {} events ({} dropped) in {} file{}",
+                        report.name,
+                        log.total_events(),
+                        log.total_dropped(),
+                        files.len(),
+                        if files.len() == 1 { "" } else { "s" }
+                    );
+                }
+                Err(e) => eprintln!("warning: could not write trace for {}: {e}", report.name),
             }
         }
     }
@@ -158,13 +262,28 @@ fn main() {
         ),
         None => eprintln!("[perf] {throughput}"),
     }
+
+    if let Some(path) = &profile_path {
+        let spans = reports
+            .iter()
+            .flat_map(|r| r.spans.iter().copied())
+            .collect();
+        let profile = Profile::new(spans, wall_secs);
+        eprint!("{}", profile.summary());
+        if let Err(e) = std::fs::write(path, profile.to_chrome_trace().to_string()) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("[profile] chrome trace written to {path}");
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: repro [--list] [--seed N] [--scale quick|scaled|paper|full] [--threads N] \
-         [--json DIR] [--metrics] [--only NAME[,NAME...]] \
+         [--json DIR] [--metrics] [--trace DIR] [--trace-cap N] [--profile PATH] \
+         [--only NAME[,NAME...]] \
          <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>..."
     );
     std::process::exit(2);

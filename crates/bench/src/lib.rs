@@ -25,6 +25,7 @@ mod tests {
             scale: Scale::Quick,
             seed: 7,
             threads: 1,
+            trace_cap: None,
         });
         let reports = runner.run(&["rounds".to_string()]).unwrap();
         assert!(reports[0]

@@ -11,6 +11,7 @@ use bitsync_json::{ToJson, Value};
 use bitsync_protocol::addr::NetAddr;
 use bitsync_sim::metrics::Recorder;
 use bitsync_sim::rng::SimRng;
+use bitsync_sim::trace::Tracer;
 use std::collections::HashSet;
 
 /// Experiment parameters.
@@ -177,9 +178,20 @@ pub fn run(cfg: &CensusExperimentConfig) -> CensusExperimentResult {
 
 /// [`run`] with crawler and probe metrics reported into `rec`.
 pub fn run_recorded(cfg: &CensusExperimentConfig, rec: &Recorder) -> CensusExperimentResult {
+    run_traced(cfg, rec, &Tracer::disabled())
+}
+
+/// [`run_recorded`] with per-node crawl events recorded into `tracer`.
+pub fn run_traced(
+    cfg: &CensusExperimentConfig,
+    rec: &Recorder,
+    tracer: &Tracer,
+) -> CensusExperimentResult {
     let mut rng = SimRng::seed_from(cfg.seed);
     let network = CensusNetwork::generate(cfg.census.clone(), &mut rng);
-    let campaign = cfg.campaign.run_recorded(&network, &mut rng, Some(rec));
+    let campaign = cfg
+        .campaign
+        .run_recorded(&network, &mut rng, Some(rec), tracer);
     let matrix = ChurnMatrix::build(&network, 1.0);
 
     // Table I: classify by ground truth. Responsive nodes are the
@@ -263,8 +275,12 @@ impl Experiment for CensusExperiment {
     }
 
     fn run(&mut self, rec: &mut Recorder) -> Value {
+        self.run_traced(rec, &Tracer::disabled())
+    }
+
+    fn run_traced(&mut self, rec: &mut Recorder, tracer: &Tracer) -> Value {
         let cfg = self.cfg.as_ref().expect("configure() before run()");
-        let r = run_recorded(cfg, rec);
+        let r = run_traced(cfg, rec, tracer);
         self.rendered = Some(crate::report::render_census(&r));
         r.to_json()
     }

@@ -15,6 +15,7 @@
 
 use bitsync_json::Value;
 use bitsync_sim::metrics::Recorder;
+use bitsync_sim::trace::Tracer;
 
 /// How big to make each experiment's world.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +82,16 @@ pub trait Experiment: Send {
     /// Executes the experiment, reporting metrics into `rec`, and returns
     /// the erased result.
     fn run(&mut self, rec: &mut Recorder) -> Value;
+
+    /// [`Experiment::run`] with a per-event trace sink. The default ignores
+    /// the tracer; experiments whose internals are instrumented (the world
+    /// simulations, the census crawler) override this and have [`run`]
+    /// delegate here with [`Tracer::disabled`]. Tracing must never change
+    /// the result: the sink only observes.
+    fn run_traced(&mut self, rec: &mut Recorder, tracer: &Tracer) -> Value {
+        let _ = tracer;
+        self.run(rec)
+    }
 
     /// The paper-style text report of the last [`Experiment::run`].
     fn rendered(&self) -> Option<String> {

@@ -15,6 +15,7 @@ use bitsync_node::world::{World, WorldConfig};
 use bitsync_node::NodeId;
 use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
+use bitsync_sim::trace::Tracer;
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -120,6 +121,13 @@ pub fn run(cfg: &RelayConfig) -> RelayResult {
 /// [`run`] with world metrics — including the per-hop relay-delay
 /// histogram — reported into `rec`.
 pub fn run_recorded(cfg: &RelayConfig, rec: &Recorder) -> RelayResult {
+    run_traced(cfg, rec, &Tracer::disabled())
+}
+
+/// [`run_recorded`] with a trace sink attached to the world: relay
+/// origin/recv/send events, dial resolutions, ADDR exchanges, and churn
+/// flow into `tracer` (a disabled tracer records nothing, at no cost).
+pub fn run_traced(cfg: &RelayConfig, rec: &Recorder, tracer: &Tracer) -> RelayResult {
     let n_nodes = 1 + cfg.n_outbound + cfg.n_inbound;
     let mut node_cfg = cfg.node_cfg.clone();
     node_cfg.upload_bandwidth = cfg.upload_bandwidth;
@@ -140,6 +148,7 @@ pub fn run_recorded(cfg: &RelayConfig, rec: &Recorder) -> RelayResult {
         ..WorldConfig::default()
     });
     world.attach_metrics(rec.clone());
+    world.attach_tracer(tracer.clone());
     let hub = NodeId(0);
     for i in 0..cfg.n_outbound {
         world.force_connect(hub, NodeId(1 + i as u32));
@@ -194,8 +203,12 @@ impl Experiment for RelayExperiment {
     }
 
     fn run(&mut self, rec: &mut Recorder) -> Value {
+        self.run_traced(rec, &Tracer::disabled())
+    }
+
+    fn run_traced(&mut self, rec: &mut Recorder, tracer: &Tracer) -> Value {
         let cfg = self.cfg.as_ref().expect("configure() before run()");
-        let r = run_recorded(cfg, rec);
+        let r = run_traced(cfg, rec, tracer);
         self.rendered = Some(crate::report::render_fig10_11(&r));
         r.to_json()
     }

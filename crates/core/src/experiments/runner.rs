@@ -1,15 +1,22 @@
 //! The parallel experiment runner.
 //!
-//! Experiments are independent — each owns its world, its RNG stream, and
-//! its metrics recorder — so the runner distributes them over plain worker
-//! threads pulling from a shared index. Reports come back in registry
-//! order and are byte-identical whatever the thread count.
+//! Experiments are independent — each owns its world, its RNG stream, its
+//! metrics recorder, and (when enabled) its trace log — so the runner
+//! distributes them over plain worker threads pulling from a shared index.
+//! Reports come back in registry order and are byte-identical whatever the
+//! thread count: the JSON envelope and the trace log depend only on the
+//! scale and the derived seed. Wall-clock observations (phase spans) are
+//! kept out of the envelope and surfaced separately via
+//! [`crate::profile::Profile`].
 
 use super::registry::{experiment_seed, Scale, REGISTRY};
+use crate::profile::PhaseSpan;
 use bitsync_json::Value;
 use bitsync_sim::metrics::Recorder;
+use bitsync_sim::trace::{TraceLog, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Runner settings.
 #[derive(Clone, Copy, Debug)]
@@ -21,6 +28,10 @@ pub struct RunnerConfig {
     pub seed: u64,
     /// Worker threads (clamped to at least 1; 1 means fully serial).
     pub threads: usize,
+    /// When set, each experiment runs with an enabled [`Tracer`] holding at
+    /// most this many events per category; the drained [`TraceLog`] lands
+    /// on [`ExperimentReport::trace`]. `None` keeps tracing fully disabled.
+    pub trace_cap: Option<usize>,
 }
 
 impl Default for RunnerConfig {
@@ -29,6 +40,7 @@ impl Default for RunnerConfig {
             scale: Scale::Scaled,
             seed: 2021,
             threads: 1,
+            trace_cap: None,
         }
     }
 }
@@ -48,6 +60,12 @@ pub struct ExperimentReport {
     pub json: Value,
     /// Paper-style text report.
     pub rendered: Option<String>,
+    /// The drained trace log when [`RunnerConfig::trace_cap`] was set.
+    pub trace: Option<TraceLog>,
+    /// Wall-clock phase spans (configure/run/render), relative to the
+    /// runner invocation's start. Side-channel only — never serialized
+    /// into [`ExperimentReport::json`].
+    pub spans: Vec<PhaseSpan>,
 }
 
 /// Executes registry experiments across worker threads.
@@ -104,9 +122,14 @@ impl ExperimentRunner {
     }
 
     fn run_indices(&self, indices: &[usize]) -> Vec<ExperimentReport> {
+        let epoch = Instant::now();
         let threads = self.cfg.threads.max(1).min(indices.len().max(1));
         if threads <= 1 {
-            return indices.iter().map(|&i| self.run_one(i)).collect();
+            return indices
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| self.run_one(i, k, epoch))
+                .collect();
         }
         // Work-stealing over a shared cursor; each slot collects its own
         // report so output order stays registry order.
@@ -118,7 +141,7 @@ impl ExperimentRunner {
                 scope.spawn(|| loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&idx) = indices.get(k) else { break };
-                    let report = self.run_one(idx);
+                    let report = self.run_one(idx, k, epoch);
                     *slots[k].lock().expect("slot poisoned") = Some(report);
                 });
             }
@@ -133,12 +156,40 @@ impl ExperimentRunner {
             .collect()
     }
 
-    fn run_one(&self, idx: usize) -> ExperimentReport {
+    fn run_one(&self, idx: usize, lane: usize, epoch: Instant) -> ExperimentReport {
         let mut exp = REGISTRY[idx]();
         let seed = experiment_seed(self.cfg.seed, exp.name());
+        let name = exp.name();
+        let mut spans = Vec::with_capacity(3);
+        let timed = |phase: &'static str| {
+            let start = Instant::now();
+            (start, start.duration_since(epoch).as_micros() as u64, phase)
+        };
+        let close = |spans: &mut Vec<PhaseSpan>,
+                     (start, start_us, phase): (Instant, u64, &'static str)| {
+            spans.push(PhaseSpan {
+                experiment: name,
+                phase,
+                start_us,
+                dur_us: start.elapsed().as_micros() as u64,
+                lane,
+            });
+        };
+
+        let t = timed("configure");
         exp.configure(self.cfg.scale, seed);
+        close(&mut spans, t);
+
         let mut rec = Recorder::new();
-        let result = exp.run(&mut rec);
+        let tracer = match self.cfg.trace_cap {
+            Some(cap) => Tracer::enabled(cap),
+            None => Tracer::disabled(),
+        };
+        let t = timed("run");
+        let result = exp.run_traced(&mut rec, &tracer);
+        close(&mut spans, t);
+
+        let t = timed("render");
         let json = Value::object()
             .with("experiment", exp.name())
             .with("paper_targets", exp.paper_targets().to_vec())
@@ -146,13 +197,18 @@ impl ExperimentRunner {
             .with("seed", seed)
             .with("result", result)
             .with("metrics", rec.to_json());
+        let rendered = exp.rendered();
+        close(&mut spans, t);
+
         ExperimentReport {
             name: exp.name(),
             artifact: exp.artifact(),
             paper_targets: exp.paper_targets(),
             seed,
             json,
-            rendered: exp.rendered(),
+            rendered,
+            trace: tracer.take(),
+            spans,
         }
     }
 }
@@ -166,6 +222,7 @@ mod tests {
             scale: Scale::Quick,
             seed: 7,
             threads,
+            trace_cap: None,
         })
     }
 
@@ -203,6 +260,33 @@ mod tests {
                 .and_then(Value::as_u64)
                 .is_some_and(|n| n > 0),
             "no event count in {metrics}"
+        );
+    }
+
+    #[test]
+    fn untraced_reports_have_no_trace_but_do_have_spans() {
+        let reports = quick(1).run(&["rounds".to_string()]).unwrap();
+        assert!(reports[0].trace.is_none());
+        let phases: Vec<&str> = reports[0].spans.iter().map(|s| s.phase).collect();
+        assert_eq!(phases, ["configure", "run", "render"]);
+    }
+
+    #[test]
+    fn traced_relay_run_captures_relay_events_without_changing_json() {
+        let traced = ExperimentRunner::new(RunnerConfig {
+            scale: Scale::Quick,
+            seed: 7,
+            threads: 1,
+            trace_cap: Some(1 << 16),
+        });
+        let with = traced.run(&["relay".to_string()]).unwrap().remove(0);
+        let without = quick(1).run(&["relay".to_string()]).unwrap().remove(0);
+        let log = with.trace.expect("trace captured");
+        assert!(!log.relay.is_empty(), "no relay events traced");
+        assert_eq!(
+            with.json.to_string(),
+            without.json.to_string(),
+            "tracing perturbed the report"
         );
     }
 }

@@ -12,6 +12,7 @@ use bitsync_node::world::{World, WorldConfig};
 use bitsync_node::NodeId;
 use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
+use bitsync_sim::trace::Tracer;
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -106,6 +107,11 @@ pub fn run(cfg: &StabilityConfig) -> StabilityResult {
 
 /// [`run`] with world metrics reported into `rec`.
 pub fn run_recorded(cfg: &StabilityConfig, rec: &Recorder) -> StabilityResult {
+    run_traced(cfg, rec, &Tracer::disabled())
+}
+
+/// [`run_recorded`] with dial/churn events traced into `tracer`.
+pub fn run_traced(cfg: &StabilityConfig, rec: &Recorder, tracer: &Tracer) -> StabilityResult {
     let mut world = World::new(WorldConfig {
         seed: cfg.seed,
         n_reachable: cfg.n_reachable,
@@ -118,6 +124,7 @@ pub fn run_recorded(cfg: &StabilityConfig, rec: &Recorder) -> StabilityResult {
         ..WorldConfig::default()
     });
     world.attach_metrics(rec.clone());
+    world.attach_tracer(tracer.clone());
     let observed = NodeId(0);
     world.run_until(SimTime::ZERO + cfg.warmup);
     let mut series = Vec::with_capacity(cfg.window_secs as usize);
@@ -167,8 +174,12 @@ impl Experiment for StabilityExperiment {
     }
 
     fn run(&mut self, rec: &mut Recorder) -> Value {
+        self.run_traced(rec, &Tracer::disabled())
+    }
+
+    fn run_traced(&mut self, rec: &mut Recorder, tracer: &Tracer) -> Value {
         let cfg = self.cfg.as_ref().expect("configure() before run()");
-        let r = run_recorded(cfg, rec);
+        let r = run_traced(cfg, rec, tracer);
         self.rendered = Some(crate::report::render_fig6(&r));
         r.to_json()
     }

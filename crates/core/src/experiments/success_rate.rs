@@ -11,6 +11,7 @@ use bitsync_node::world::{World, WorldConfig};
 use bitsync_node::NodeId;
 use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
+use bitsync_sim::trace::Tracer;
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -144,6 +145,13 @@ pub fn run(cfg: &SuccessRateConfig) -> SuccessRateResult {
 
 /// [`run`] with every per-run world reporting into `rec`.
 pub fn run_recorded(cfg: &SuccessRateConfig, rec: &Recorder) -> SuccessRateResult {
+    run_traced(cfg, rec, &Tracer::disabled())
+}
+
+/// [`run_recorded`] with every dial attempt and outcome traced into
+/// `tracer` (all runs share the one trace log; the initiator id plus event
+/// order distinguish runs).
+pub fn run_traced(cfg: &SuccessRateConfig, rec: &Recorder, tracer: &Tracer) -> SuccessRateResult {
     let mut runs = Vec::with_capacity(cfg.runs);
     for i in 0..cfg.runs {
         let mut world = World::new(WorldConfig {
@@ -157,6 +165,7 @@ pub fn run_recorded(cfg: &SuccessRateConfig, rec: &Recorder) -> SuccessRateResul
             ..WorldConfig::default()
         });
         world.attach_metrics(rec.clone());
+        world.attach_tracer(tracer.clone());
         world.run_until(SimTime::ZERO + cfg.run_duration);
         let stats = world.node(NodeId(0)).map(|n| n.stats).unwrap_or_default();
         runs.push(RunCounts {
@@ -196,8 +205,12 @@ impl Experiment for SuccessRateExperiment {
     }
 
     fn run(&mut self, rec: &mut Recorder) -> Value {
+        self.run_traced(rec, &Tracer::disabled())
+    }
+
+    fn run_traced(&mut self, rec: &mut Recorder, tracer: &Tracer) -> Value {
         let cfg = self.cfg.as_ref().expect("configure() before run()");
-        let r = run_recorded(cfg, rec);
+        let r = run_traced(cfg, rec, tracer);
         self.rendered = Some(crate::report::render_fig7(&r));
         r.to_json()
     }

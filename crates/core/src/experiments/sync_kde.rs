@@ -22,6 +22,7 @@ use bitsync_net::churn::ChurnConfig;
 use bitsync_node::world::{ChurnEvent, World, WorldConfig};
 use bitsync_sim::metrics::Recorder;
 use bitsync_sim::time::{SimDuration, SimTime};
+use bitsync_sim::trace::Tracer;
 
 /// Which measurement-period regime to reproduce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -202,8 +203,20 @@ pub fn run_year(cfg: &SyncScenarioConfig, year: Year) -> YearResult {
 
 /// [`run_year`] with world metrics reported into `rec`.
 pub fn run_year_recorded(cfg: &SyncScenarioConfig, year: Year, rec: &Recorder) -> YearResult {
+    run_year_traced(cfg, year, rec, &Tracer::disabled())
+}
+
+/// [`run_year_recorded`] with churn/dial/relay events traced into
+/// `tracer`.
+pub fn run_year_traced(
+    cfg: &SyncScenarioConfig,
+    year: Year,
+    rec: &Recorder,
+    tracer: &Tracer,
+) -> YearResult {
     let mut world = World::new(cfg.world_config(year));
     world.attach_metrics(rec.clone());
+    world.attach_tracer(tracer.clone());
     let mut samples = Vec::new();
     let warmup = cfg.warmup;
     world.run_until(SimTime::ZERO + warmup);
@@ -243,9 +256,15 @@ pub fn run(cfg: &SyncScenarioConfig) -> SyncComparison {
 
 /// [`run`] with both arms' worlds reporting into `rec`.
 pub fn run_recorded(cfg: &SyncScenarioConfig, rec: &Recorder) -> SyncComparison {
+    run_traced(cfg, rec, &Tracer::disabled())
+}
+
+/// [`run_recorded`] with both arms tracing into the one `tracer` (the
+/// 2019 arm's events come first; both arms restart sim time at zero).
+pub fn run_traced(cfg: &SyncScenarioConfig, rec: &Recorder, tracer: &Tracer) -> SyncComparison {
     SyncComparison {
-        y2019: run_year_recorded(cfg, Year::Y2019, rec),
-        y2020: run_year_recorded(cfg, Year::Y2020, rec),
+        y2019: run_year_traced(cfg, Year::Y2019, rec, tracer),
+        y2020: run_year_traced(cfg, Year::Y2020, rec, tracer),
     }
 }
 
@@ -280,8 +299,12 @@ impl Experiment for SyncExperiment {
     }
 
     fn run(&mut self, rec: &mut Recorder) -> Value {
+        self.run_traced(rec, &Tracer::disabled())
+    }
+
+    fn run_traced(&mut self, rec: &mut Recorder, tracer: &Tracer) -> Value {
         let cfg = self.cfg.as_ref().expect("configure() before run()");
-        let r = run_recorded(cfg, rec);
+        let r = run_traced(cfg, rec, tracer);
         self.rendered = Some(crate::report::render_fig1(&r));
         r.to_json()
     }

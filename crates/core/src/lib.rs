@@ -29,6 +29,7 @@
 //! ```
 
 pub mod experiments;
+pub mod profile;
 pub mod report;
 
 pub use bitsync_addrman as addrman;

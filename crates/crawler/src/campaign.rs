@@ -8,6 +8,7 @@ use crate::feeds::{FeedConfig, Feeds};
 use bitsync_protocol::addr::NetAddr;
 use bitsync_sim::metrics::Recorder;
 use bitsync_sim::rng::SimRng;
+use bitsync_sim::trace::Tracer;
 use std::collections::{HashMap, HashSet};
 
 /// One experiment's (day's) aggregated numbers.
@@ -98,15 +99,17 @@ impl Default for Campaign {
 impl Campaign {
     /// Executes one crawl per day over the census window.
     pub fn run(&self, net: &CensusNetwork, rng: &mut SimRng) -> CampaignResult {
-        self.run_recorded(net, rng, None)
+        self.run_recorded(net, rng, None, &Tracer::disabled())
     }
 
-    /// [`Campaign::run`] with crawl and probe metrics reported into `rec`.
+    /// [`Campaign::run`] with crawl and probe metrics reported into `rec`
+    /// and per-node crawl events recorded into `tracer`.
     pub fn run_recorded(
         &self,
         net: &CensusNetwork,
         rng: &mut SimRng,
         rec: Option<&Recorder>,
+        tracer: &Tracer,
     ) -> CampaignResult {
         let feeds = Feeds::new(self.feeds, net, rng);
         let mut result = CampaignResult {
@@ -122,10 +125,10 @@ impl Campaign {
             let snap = feeds.pull(net, t, rng);
             let crawl = if net.cfg.sampled_crawl {
                 self.crawler
-                    .run_experiment_sampled(net, &snap.candidates, t, rng, rec)
+                    .run_experiment_sampled(net, &snap.candidates, t, rng, rec, tracer)
             } else {
                 self.crawler
-                    .run_experiment_recorded(net, &snap.candidates, t, rng, rec)
+                    .run_experiment_recorded(net, &snap.candidates, t, rng, rec, tracer)
             };
 
             // Figure 3d: connected nodes absent from Bitnodes.

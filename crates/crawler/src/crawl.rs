@@ -7,6 +7,7 @@ use bitsync_net::population::ProbeOutcome;
 use bitsync_protocol::addr::NetAddr;
 use bitsync_sim::metrics::Recorder;
 use bitsync_sim::rng::SimRng;
+use bitsync_sim::trace::{CrawlEvent, Tracer};
 use std::collections::HashSet;
 
 /// Addresses per `ADDR` response (the protocol's message cap).
@@ -152,10 +153,11 @@ impl Crawler {
         day: f64,
         rng: &mut SimRng,
     ) -> CrawlResult {
-        self.run_experiment_recorded(net, candidates, day, rng, None)
+        self.run_experiment_recorded(net, candidates, day, rng, None, &Tracer::disabled())
     }
 
-    /// [`Crawler::run_experiment`] with crawl metrics reported into `rec`.
+    /// [`Crawler::run_experiment`] with crawl metrics reported into `rec`
+    /// and one [`CrawlEvent`] per crawled node recorded into `tracer`.
     pub fn run_experiment_recorded(
         &self,
         net: &CensusNetwork,
@@ -163,6 +165,7 @@ impl Crawler {
         day: f64,
         rng: &mut SimRng,
         rec: Option<&Recorder>,
+        tracer: &Tracer,
     ) -> CrawlResult {
         let mut result = CrawlResult {
             candidates: candidates.len(),
@@ -188,6 +191,16 @@ impl Crawler {
                 rec.inc(metric::NODES_CRAWLED, 1);
                 rec.inc(metric::GETADDR_ROUNDS, crawl.getaddr_rounds as u64);
                 rec.inc(metric::ADDRS_REVEALED, crawl.revealed.len() as u64);
+            }
+            if tracer.is_enabled() {
+                tracer.crawl(CrawlEvent {
+                    day,
+                    addr: addr.to_string(),
+                    rounds: crawl.getaddr_rounds as u64,
+                    revealed: crawl.revealed.len() as u64,
+                    reachable_revealed: crawl.reachable_revealed as u64,
+                    malicious: net.reachable[idx].malicious,
+                });
             }
             let total = crawl.revealed.len() as u64;
             result
@@ -223,6 +236,7 @@ impl Crawler {
         day: f64,
         rng: &mut SimRng,
         rec: Option<&Recorder>,
+        tracer: &Tracer,
     ) -> CrawlResult {
         let mut result = CrawlResult {
             candidates: candidates.len(),
@@ -274,6 +288,16 @@ impl Crawler {
                 rec.inc(metric::NODES_CRAWLED, 1);
                 rec.inc(metric::GETADDR_ROUNDS, rounds);
                 rec.inc(metric::ADDRS_REVEALED, revealed);
+            }
+            if tracer.is_enabled() {
+                tracer.crawl(CrawlEvent {
+                    day,
+                    addr: addr.to_string(),
+                    rounds,
+                    revealed,
+                    reachable_revealed,
+                    malicious: node.malicious,
+                });
             }
             result
                 .sender_stats
@@ -520,8 +544,14 @@ mod tests {
             .map(|i| net.reachable[i].addr)
             .collect();
         let exact = Crawler::default().run_experiment(&net, &candidates, 0.5, &mut rng);
-        let sampled =
-            Crawler::default().run_experiment_sampled(&net, &candidates, 0.5, &mut rng, None);
+        let sampled = Crawler::default().run_experiment_sampled(
+            &net,
+            &candidates,
+            0.5,
+            &mut rng,
+            None,
+            &Tracer::disabled(),
+        );
         assert_eq!(sampled.connected, exact.connected);
         assert_eq!(sampled.candidates, exact.candidates);
         // Exact union covers *almost* all live addresses; sampled covers all
@@ -559,8 +589,14 @@ mod tests {
             .into_iter()
             .map(|i| net.reachable[i].addr)
             .collect();
-        let result =
-            Crawler::default().run_experiment_sampled(&net, &candidates, 0.5, &mut rng, None);
+        let result = Crawler::default().run_experiment_sampled(
+            &net,
+            &candidates,
+            0.5,
+            &mut rng,
+            None,
+            &Tracer::disabled(),
+        );
         assert!(result.connected > 0);
         assert!(result.unreachable_found.len() > 100);
         // Honest senders reveal their own address; flooders reveal none.

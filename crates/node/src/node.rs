@@ -29,6 +29,7 @@ use bitsync_protocol::message::{GetHeaders, Message, SendCmpct, VersionMsg, PROT
 use bitsync_protocol::tx::Transaction;
 use bitsync_sim::rng::SimRng;
 use bitsync_sim::time::{SimDuration, SimTime};
+use bitsync_sim::trace::{self, Tracer};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// UNIX timestamp of simulation time zero (April 4, 2020 — the start of the
@@ -131,6 +132,9 @@ pub struct Node {
     pub stats: NodeStats,
     /// When set, the node is ADDR-flooding malware (§IV-B, Figure 8).
     pub flooder: Option<crate::malicious::AddrFlooder>,
+    /// Per-event trace sink; the world clones its own handle in here so the
+    /// pump and message handlers can trace. Disabled by default.
+    pub tracer: Tracer,
     rng: SimRng,
 }
 
@@ -158,6 +162,7 @@ impl Node {
             getaddr_cached: None,
             stats: NodeStats::default(),
             flooder: None,
+            tracer: Tracer::disabled(),
             rng,
         }
     }
@@ -600,6 +605,17 @@ impl Node {
             if entry.addr != self.addr && self.addrman.add(entry.addr, source, unix_time(now)) {
                 fresh.push(*entry);
             }
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.addr(trace::AddrEvent {
+                at: now,
+                from: from.0,
+                to: self.id.0,
+                dir: trace::AddrDir::Recv,
+                count: list.len() as u32,
+                reachable: None,
+                accepted: Some(fresh.len() as u32),
+            });
         }
         // Core forwards small unsolicited ADDR messages to a couple peers.
         // Forward only first-seen entries: each node relays a given

@@ -20,6 +20,7 @@ use bitsync_sim::event::EventQueue;
 use bitsync_sim::metrics::{Recorder, DEFAULT_BUCKETS};
 use bitsync_sim::rng::SimRng;
 use bitsync_sim::time::{SimDuration, SimTime};
+use bitsync_sim::trace::{self, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -278,6 +279,10 @@ pub struct World {
     /// [`World::attach_metrics`] so an experiment can aggregate several
     /// worlds into one recorder.
     pub metrics: Recorder,
+    /// Per-event trace sink, disabled by default. Replaceable via
+    /// [`World::attach_tracer`]; the handle is also cloned into every node
+    /// so the pump can trace without going through the world.
+    pub tracer: Tracer,
 }
 
 /// Canonical metric names the world reports into its [`Recorder`].
@@ -352,6 +357,7 @@ impl World {
             used_ips: HashSet::new(),
             as_model,
             metrics: new_world_recorder(),
+            tracer: Tracer::disabled(),
             cfg,
         };
 
@@ -438,6 +444,7 @@ impl World {
             rng.next_u64(),
         );
         node.cfg.compact_blocks = rng.chance(self.cfg.compact_fraction);
+        node.tracer = self.tracer.clone();
         if malicious {
             let size = FloodScale::paper().sample(rng);
             node.flooder = Some(AddrFlooder::generate(size, rng));
@@ -530,6 +537,16 @@ impl World {
     pub fn attach_metrics(&mut self, rec: Recorder) {
         register_world_histograms(&rec);
         self.metrics = rec;
+    }
+
+    /// Points the world (and every current node) at an experiment-owned
+    /// tracer. Like [`World::attach_metrics`], attach before running:
+    /// events are recorded only from this moment on.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        for node in self.nodes.iter_mut().flatten() {
+            node.tracer = self.tracer.clone();
+        }
     }
 
     /// Shared access to a node (if online).
@@ -766,15 +783,27 @@ impl World {
             } = out;
             // ADDR census.
             if let Message::Addr(entries) = &msg {
-                let stats = self.addr_senders.entry(id).or_default();
-                stats.total += entries.len() as u64;
-                stats.reachable += entries
+                let reachable = entries
                     .iter()
                     .filter(|e| self.reachable_addrs.contains(&e.addr))
                     .count() as u64;
+                let stats = self.addr_senders.entry(id).or_default();
+                stats.total += entries.len() as u64;
+                stats.reachable += reachable;
+                if self.tracer.is_enabled() {
+                    self.tracer.addr(trace::AddrEvent {
+                        at: send_end,
+                        from: id.0,
+                        to: to.0,
+                        dir: trace::AddrDir::Sent,
+                        count: entries.len() as u32,
+                        reachable: Some(reachable as u32),
+                        accepted: None,
+                    });
+                }
             }
             // Relay instrumentation: record send completion per object.
-            if instrumented {
+            if instrumented || self.tracer.is_enabled() {
                 let key = match &msg {
                     Message::Block(b) => Some((b.block_hash(), true)),
                     Message::CmpctBlock(cb) => Some((cb.block_hash(), true)),
@@ -782,19 +811,48 @@ impl World {
                     _ => None,
                 };
                 if let Some((hash, is_block)) = key {
-                    let rec = self.relay_log.entry(hash).or_insert(RelayRecord {
-                        received: now,
-                        last_sent: None,
-                        sends: 0,
-                        is_block,
-                    });
-                    // Serving an old object to a syncing peer is not relay.
-                    let hop_delay = send_end.saturating_since(rec.received);
-                    if hop_delay <= FRESH_RELAY_WINDOW {
-                        rec.sends += 1;
-                        rec.last_sent = Some(rec.last_sent.map_or(send_end, |p| p.max(send_end)));
-                        self.metrics
-                            .observe(metric::RELAY_DELAY, hop_delay.as_secs_f64());
+                    if instrumented {
+                        let vacant = !self.relay_log.contains_key(&hash);
+                        // A vacant entry at send time means the object was
+                        // locally created and is first flushed here (e.g. a
+                        // tx injected at this node): its relay clock starts
+                        // now. Mirror that into the trace so analysis can
+                        // reproduce `received` exactly.
+                        if vacant && self.tracer.is_enabled() {
+                            self.tracer.relay(trace::RelayEvent {
+                                at: now,
+                                phase: trace::RelayPhase::Origin,
+                                object: hash.0,
+                                is_block,
+                                from: None,
+                                to: id.0,
+                            });
+                        }
+                        let rec = self.relay_log.entry(hash).or_insert(RelayRecord {
+                            received: now,
+                            last_sent: None,
+                            sends: 0,
+                            is_block,
+                        });
+                        // Serving an old object to a syncing peer is not relay.
+                        let hop_delay = send_end.saturating_since(rec.received);
+                        if hop_delay <= FRESH_RELAY_WINDOW {
+                            rec.sends += 1;
+                            rec.last_sent =
+                                Some(rec.last_sent.map_or(send_end, |p| p.max(send_end)));
+                            self.metrics
+                                .observe(metric::RELAY_DELAY, hop_delay.as_secs_f64());
+                        }
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.relay(trace::RelayEvent {
+                            at: send_end,
+                            phase: trace::RelayPhase::Send,
+                            object: hash.0,
+                            is_block,
+                            from: Some(id.0),
+                            to: to.0,
+                        });
                     }
                 }
             }
@@ -895,6 +953,34 @@ impl World {
                 _ => (false, self.latency.connect_timeout()),
             },
         };
+        if self.tracer.is_enabled() {
+            let kind = match self.addr_index.get(&target) {
+                Some(&tid) => {
+                    if self.meta[tid.0 as usize].reachable {
+                        trace::DialTargetKind::Reachable
+                    } else {
+                        trace::DialTargetKind::UnreachableFull
+                    }
+                }
+                None => match self.phantoms.get(&target) {
+                    Some((PhantomKind::Responsive, _)) => trace::DialTargetKind::PhantomResponsive,
+                    Some((PhantomKind::Silent, _)) => trace::DialTargetKind::PhantomSilent,
+                    None => trace::DialTargetKind::Unknown,
+                },
+            };
+            self.tracer.dial(trace::DialEvent {
+                at: now,
+                initiator: initiator.0,
+                target: target.to_string(),
+                dir: if dir == Direction::Feeler {
+                    trace::DialDir::Feeler
+                } else {
+                    trace::DialDir::Outbound
+                },
+                kind,
+                ok,
+            });
+        }
         self.queue.schedule(
             now + delay,
             Ev::DialResult {
@@ -1007,7 +1093,7 @@ impl World {
 
     fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: Message, now: SimTime) {
         // Relay instrumentation: first receipt of a block/tx object.
-        if self.instrumented == Some(to) {
+        if self.instrumented == Some(to) || self.tracer.is_enabled() {
             let key = match &msg {
                 Message::Block(b) => Some((b.block_hash(), true)),
                 Message::CmpctBlock(cb) => Some((cb.block_hash(), true)),
@@ -1015,12 +1101,42 @@ impl World {
                 _ => None,
             };
             if let Some((hash, is_block)) = key {
-                self.relay_log.entry(hash).or_insert(RelayRecord {
-                    received: now,
-                    last_sent: None,
-                    sends: 0,
-                    is_block,
-                });
+                if self.instrumented == Some(to) {
+                    self.relay_log.entry(hash).or_insert(RelayRecord {
+                        received: now,
+                        last_sent: None,
+                        sends: 0,
+                        is_block,
+                    });
+                }
+                if self.tracer.is_enabled() {
+                    // Trace only candidate first receipts: deliveries of a
+                    // payload the node does not hold yet. Duplicates before
+                    // the body lands (e.g. concurrent compact blocks) can
+                    // yield several `recv` events; consumers take the
+                    // earliest per (node, object).
+                    let fresh = self
+                        .nodes
+                        .get(to.0 as usize)
+                        .and_then(|n| n.as_ref())
+                        .is_some_and(|n| {
+                            if is_block {
+                                !n.chain.has_body(&hash)
+                            } else {
+                                !n.mempool.contains(&hash)
+                            }
+                        });
+                    if fresh {
+                        self.tracer.relay(trace::RelayEvent {
+                            at: now,
+                            phase: trace::RelayPhase::Recv,
+                            object: hash.0,
+                            is_block,
+                            from: Some(from.0),
+                            to: to.0,
+                        });
+                    }
+                }
             }
         }
         let Some(node) = self.nodes.get_mut(to.0 as usize).and_then(|n| n.as_mut()) else {
@@ -1046,21 +1162,35 @@ impl World {
             .collect();
         if let Some(&producer) = self.rng.choose(&candidates) {
             let mut miner = std::mem::replace(&mut self.miner, Miner::new(0, 1));
+            let mut mined: Option<Hash256> = None;
             if let Some(node) = self.node_mut(producer) {
                 if let Some(hash) = node.mine_and_relay(&mut miner, now) {
                     let height = node.chain.height();
                     self.best_height = self.best_height.max(height);
-                    if self.instrumented == Some(producer) {
-                        self.relay_log.entry(hash).or_insert(RelayRecord {
-                            received: now,
-                            last_sent: None,
-                            sends: 0,
-                            is_block: true,
-                        });
-                    }
+                    mined = Some(hash);
                 }
             }
             self.miner = miner;
+            if let Some(hash) = mined {
+                if self.instrumented == Some(producer) {
+                    self.relay_log.entry(hash).or_insert(RelayRecord {
+                        received: now,
+                        last_sent: None,
+                        sends: 0,
+                        is_block: true,
+                    });
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer.relay(trace::RelayEvent {
+                        at: now,
+                        phase: trace::RelayPhase::Origin,
+                        object: hash.0,
+                        is_block: true,
+                        from: None,
+                        to: producer.0,
+                    });
+                }
+            }
             self.schedule_pump(producer, now);
         }
         self.schedule_mine(now);
@@ -1071,11 +1201,26 @@ impl World {
         if let Some(&target) = self.rng.choose(&ids) {
             let mut txgen = std::mem::replace(&mut self.txgen, TxGenerator::new(0));
             let mut rng = self.rng.fork("tx");
+            let mut injected: Option<Hash256> = None;
             if let Some(node) = self.node_mut(target) {
                 let tx = txgen.next_tx(&mut rng);
+                injected = Some(tx.txid());
                 node.accept_tx(tx, now);
             }
             self.txgen = txgen;
+            if let (Some(txid), true) = (injected, self.tracer.is_enabled()) {
+                // Creation-time origin of the injected transaction. The
+                // instrumented node's relay clock starts at first flush, not
+                // here, so a second `origin` may follow from the pump.
+                self.tracer.relay(trace::RelayEvent {
+                    at: now,
+                    phase: trace::RelayPhase::Origin,
+                    object: txid.0,
+                    is_block: false,
+                    from: None,
+                    to: target.0,
+                });
+            }
             self.schedule_pump(target, now);
         }
         self.schedule_tx(now);
@@ -1108,6 +1253,13 @@ impl World {
                 synchronized,
             },
         ));
+        if self.tracer.is_enabled() {
+            self.tracer.churn(trace::ChurnTrace {
+                at: now,
+                node: id.0,
+                kind: trace::ChurnKind::Depart { synchronized },
+            });
+        }
         // Drop all its connections.
         let peers: Vec<NodeId> = node.peers.keys().copied().collect();
         for p in peers {
@@ -1158,6 +1310,13 @@ impl World {
                 rejoin: false,
             },
         ));
+        if self.tracer.is_enabled() {
+            self.tracer.churn(trace::ChurnTrace {
+                at: now,
+                node: id.0,
+                kind: trace::ChurnKind::Arrive,
+            });
+        }
     }
 
     fn on_rejoin(&mut self, id: NodeId, now: SimTime) {
@@ -1175,6 +1334,7 @@ impl World {
             rng.next_u64(),
         );
         node.cfg.compact_blocks = rng.chance(self.cfg.compact_fraction);
+        node.tracer = self.tracer.clone();
         // Restore the node's previous addrman (peers.dat survives a
         // restart); fall back to DNS re-seeding if none was stashed.
         let restored = match self.stashed_addrman.remove(&id) {
@@ -1202,5 +1362,12 @@ impl World {
                 rejoin: true,
             },
         ));
+        if self.tracer.is_enabled() {
+            self.tracer.churn(trace::ChurnTrace {
+                at: now,
+                node: id.0,
+                kind: trace::ChurnKind::Rejoin,
+            });
+        }
     }
 }

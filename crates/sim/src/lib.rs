@@ -38,6 +38,7 @@ pub mod event;
 pub mod metrics;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use event::{run, EventId, EventQueue, Step};
 pub use rng::SimRng;

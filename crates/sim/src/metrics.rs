@@ -127,6 +127,82 @@ impl Histogram {
         self.count == 0
     }
 
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Rebuilds a histogram from its serialized parts (the inverse of the
+    /// JSON projection), for consumers that only have the report JSON.
+    /// Returns `None` when the parts are inconsistent: bad bounds, a counts
+    /// length other than `bounds.len() + 1`, or a bucket total ≠ `count`.
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Option<Histogram> {
+        if bounds.is_empty() || counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        let count: u64 = counts.iter().sum();
+        if (count > 0) != (min.is_some() && max.is_some()) {
+            return None;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            count,
+            sum,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        })
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the containing bucket, Prometheus-style: the first bucket
+    /// interpolates up from the observed minimum and the overflow bucket up
+    /// to the observed maximum, and the result is clamped to `[min, max]`.
+    /// `None` when empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut below = 0u64; // observations in buckets before this one
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let is_last_nonempty = self.counts[i + 1..].iter().all(|&n| n == 0);
+            if (below + c) as f64 >= target || is_last_nonempty {
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max.max(*self.bounds.last().unwrap())
+                };
+                let lo = if i == 0 {
+                    self.min.min(hi)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                return Some((lo + frac * (hi - lo)).clamp(self.min, self.max));
+            }
+            below += c;
+        }
+        unreachable!("count > 0 guarantees a non-empty bucket");
+    }
+
     fn to_json(&self) -> Value {
         let mut v = Value::object()
             .with("bounds", self.bounds.clone())
@@ -428,6 +504,71 @@ mod tests {
         assert!(json.find("a.count").unwrap() < json.find("z.count").unwrap());
         assert!(json.contains("\"gauges\""));
         assert!(json.contains("\"histograms\""));
+    }
+
+    #[test]
+    fn quantiles_interpolate_a_uniform_distribution() {
+        // 1..=100 over buckets [25, 50, 75, 100]: 25 observations per
+        // bucket, so quantiles interpolate to ~the underlying value.
+        let mut h = Histogram::with_buckets(&[25.0, 50.0, 75.0, 100.0]);
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.9), Some(90.0));
+        assert_eq!(h.quantile(0.0), Some(1.0)); // clamps to min
+        assert_eq!(h.quantile(1.0), Some(100.0)); // clamps to max
+        assert!(h.quantile(1.5).is_none());
+        assert!(Histogram::with_buckets(&[1.0]).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_of_a_point_mass_is_the_point() {
+        let mut h = Histogram::with_buckets(&[10.0]);
+        for _ in 0..10 {
+            h.observe(5.0);
+        }
+        // Interpolation would say 7.5; the min/max clamp pins it to 5.
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.min(), Some(5.0));
+        assert_eq!(h.max(), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_uses_observed_max() {
+        let mut h = Histogram::with_buckets(&[100.0]);
+        h.observe(150.0);
+        h.observe(250.0);
+        // Overflow bucket spans [100, 250]; q=0.5 targets its midpoint.
+        assert_eq!(h.quantile(0.5), Some(175.0));
+        assert_eq!(h.quantile(1.0), Some(250.0));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_junk() {
+        let mut h = Histogram::with_buckets(&DEFAULT_BUCKETS);
+        for v in [0.01, 0.3, 4.0, 9.9, 2000.0] {
+            h.observe(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            h.bounds().to_vec(),
+            h.bucket_counts().to_vec(),
+            h.sum(),
+            h.min(),
+            h.max(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.quantile(0.5), h.quantile(0.5));
+        // counts length must be bounds + 1.
+        assert!(Histogram::from_parts(vec![1.0], vec![1], 1.0, Some(1.0), Some(1.0)).is_none());
+        // non-increasing bounds rejected.
+        assert!(Histogram::from_parts(vec![2.0, 1.0], vec![0, 0, 0], 0.0, None, None).is_none());
+        // min/max presence must match emptiness.
+        assert!(Histogram::from_parts(vec![1.0], vec![1, 0], 1.0, None, None).is_none());
+        let empty = Histogram::from_parts(vec![1.0], vec![0, 0], 0.0, None, None).unwrap();
+        assert!(empty.is_empty());
+        assert!(empty.quantile(0.5).is_none());
     }
 
     #[test]

@@ -1,0 +1,702 @@
+//! Deterministic sim-time event tracing.
+//!
+//! The metrics bus ([`crate::metrics`]) answers *how much*: aggregates that
+//! land in the deterministic report JSON. This module answers *what
+//! happened, in order*: per-event records — relay hops, dial attempts, ADDR
+//! exchanges, churn, crawler probes — stamped with the simulation clock and
+//! kept in per-category ring buffers.
+//!
+//! A [`Tracer`] mirrors [`crate::metrics::Recorder`]: a cheaply cloneable
+//! `Rc<RefCell<..>>` handle that is deliberately *not* `Send`. Each
+//! experiment owns one tracer on one worker thread, so traces can never be
+//! interleaved across threads; the serialized JSONL is a pure function of
+//! the (seeded, deterministic) simulation and therefore byte-identical at
+//! any `--threads` count. The default handle is [`Tracer::disabled`] — a
+//! `None` inner — so un-traced runs pay a single branch per would-be event.
+//!
+//! Events carry only primitives (`u32` node ids, `[u8; 32]` object hashes,
+//! pre-rendered address strings): `bitsync-sim` is a leaf crate and must not
+//! know about network or protocol types.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitsync_sim::time::SimTime;
+//! use bitsync_sim::trace::{RelayEvent, RelayPhase, Tracer};
+//!
+//! let tracer = Tracer::enabled(1024);
+//! if tracer.is_enabled() {
+//!     tracer.relay(RelayEvent {
+//!         at: SimTime::from_secs(5),
+//!         phase: RelayPhase::Recv,
+//!         object: [0xab; 32],
+//!         is_block: true,
+//!         from: Some(3),
+//!         to: 0,
+//!     });
+//! }
+//! let log = tracer.take().unwrap();
+//! assert_eq!(log.relay.len(), 1);
+//! assert!(log.to_jsonl()[0].1.contains("\"recv\""));
+//! ```
+
+use crate::time::SimTime;
+use bitsync_json::Value;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Default per-category ring-buffer capacity (events). Large enough to hold
+/// every event of the quick/scaled experiments; paper-scale runs that
+/// overflow it keep the *newest* events and count the drops.
+pub const DEFAULT_TRACE_CAP: usize = 1 << 18;
+
+/// A bounded FIFO of trace events: at most `cap` newest items are kept and
+/// evictions are counted rather than silently lost.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    cap: usize,
+    dropped: u64,
+    items: VecDeque<T>,
+}
+
+impl<T> Ring<T> {
+    fn with_cap(cap: usize) -> Ring<T> {
+        Ring {
+            cap: cap.max(1),
+            dropped: 0,
+            items: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, item: T) {
+        if self.items.len() == self.cap {
+            self.items.pop_front();
+            self.dropped += 1;
+        }
+        self.items.push_back(item);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Iterates the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+/// Which leg of a relay an event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelayPhase {
+    /// The object entered the simulation at this node (mined / injected /
+    /// served without a prior receipt).
+    Origin,
+    /// First receipt of the object's payload at `to`.
+    Recv,
+    /// `from` finished sending the object to `to` (stamped `send_end`).
+    Send,
+}
+
+impl RelayPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            RelayPhase::Origin => "origin",
+            RelayPhase::Recv => "recv",
+            RelayPhase::Send => "send",
+        }
+    }
+}
+
+/// One relay hop observation (block or transaction).
+#[derive(Clone, Debug)]
+pub struct RelayEvent {
+    /// Simulation time of the observation (`send_end` for sends, delivery
+    /// time for receipts, creation time for origins).
+    pub at: SimTime,
+    /// Which leg this records.
+    pub phase: RelayPhase,
+    /// Block hash or txid.
+    pub object: [u8; 32],
+    /// True for blocks (including compact blocks), false for transactions.
+    pub is_block: bool,
+    /// Sending node, `None` for [`RelayPhase::Origin`].
+    pub from: Option<u32>,
+    /// Observing node: the receiver for `Recv`, the origin node for
+    /// `Origin`, and the *destination* for `Send`.
+    pub to: u32,
+}
+
+impl RelayEvent {
+    fn to_json(&self) -> Value {
+        let mut v = Value::object()
+            .with("t_ns", self.at.as_nanos())
+            .with("phase", self.phase.as_str())
+            .with("obj", hex32(&self.object))
+            .with("block", self.is_block);
+        match self.from {
+            Some(f) => v.set("from", f),
+            None => v.set("from", Value::Null),
+        }
+        v.set("to", self.to);
+        v
+    }
+}
+
+/// What kind of address a dial targeted, resolved against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DialTargetKind {
+    /// An instantiated, reachable node.
+    Reachable,
+    /// An instantiated node that accepts no inbound slots (unreachable
+    /// full node behind NAT).
+    UnreachableFull,
+    /// A phantom address that completes handshakes but serves nothing.
+    PhantomResponsive,
+    /// A phantom address that never answers.
+    PhantomSilent,
+    /// Not present in any ground-truth table (stale / churned away).
+    Unknown,
+}
+
+impl DialTargetKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            DialTargetKind::Reachable => "reachable",
+            DialTargetKind::UnreachableFull => "unreachable_full",
+            DialTargetKind::PhantomResponsive => "phantom_responsive",
+            DialTargetKind::PhantomSilent => "phantom_silent",
+            DialTargetKind::Unknown => "unknown",
+        }
+    }
+}
+
+/// Why a connection was dialed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DialDir {
+    /// A persistent outbound slot.
+    Outbound,
+    /// A short-lived feeler probe.
+    Feeler,
+}
+
+impl DialDir {
+    fn as_str(self) -> &'static str {
+        match self {
+            DialDir::Outbound => "outbound",
+            DialDir::Feeler => "feeler",
+        }
+    }
+}
+
+/// One dial attempt and its outcome.
+#[derive(Clone, Debug)]
+pub struct DialEvent {
+    /// Simulation time the dial resolved.
+    pub at: SimTime,
+    /// Dialing node.
+    pub initiator: u32,
+    /// Target address, pre-rendered.
+    pub target: String,
+    /// Outbound slot or feeler.
+    pub dir: DialDir,
+    /// Ground-truth classification of the target.
+    pub kind: DialTargetKind,
+    /// Whether the handshake succeeded.
+    pub ok: bool,
+}
+
+impl DialEvent {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("t_ns", self.at.as_nanos())
+            .with("initiator", self.initiator)
+            .with("target", self.target.as_str())
+            .with("dir", self.dir.as_str())
+            .with("kind", self.kind.as_str())
+            .with("ok", self.ok)
+    }
+}
+
+/// Direction of an ADDR exchange observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AddrDir {
+    /// A node finished sending an ADDR message (stamped `send_end`).
+    Sent,
+    /// A node processed a received ADDR message.
+    Recv,
+}
+
+impl AddrDir {
+    fn as_str(self) -> &'static str {
+        match self {
+            AddrDir::Sent => "sent",
+            AddrDir::Recv => "recv",
+        }
+    }
+}
+
+/// One ADDR message observation.
+#[derive(Clone, Debug)]
+pub struct AddrEvent {
+    /// Simulation time of the observation.
+    pub at: SimTime,
+    /// Sending node.
+    pub from: u32,
+    /// Receiving node.
+    pub to: u32,
+    /// Sent or received leg.
+    pub dir: AddrDir,
+    /// Entries in the message.
+    pub count: u32,
+    /// Ground-truth reachable entries (sent leg only).
+    pub reachable: Option<u32>,
+    /// Entries new to the receiver's addrman (received leg only).
+    pub accepted: Option<u32>,
+}
+
+impl AddrEvent {
+    fn to_json(&self) -> Value {
+        let mut v = Value::object()
+            .with("t_ns", self.at.as_nanos())
+            .with("from", self.from)
+            .with("to", self.to)
+            .with("dir", self.dir.as_str())
+            .with("count", self.count);
+        if let Some(r) = self.reachable {
+            v.set("reachable", r);
+        }
+        if let Some(a) = self.accepted {
+            v.set("accepted", a);
+        }
+        v
+    }
+}
+
+/// What a churn event did to a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The node went offline; records whether it was synchronized.
+    Depart {
+        /// True when the node had caught up to the tip when it left.
+        synchronized: bool,
+    },
+    /// A brand-new node joined.
+    Arrive,
+    /// A previously departed node came back online.
+    Rejoin,
+}
+
+/// One churn arrival or departure.
+#[derive(Clone, Debug)]
+pub struct ChurnTrace {
+    /// Simulation time of the transition.
+    pub at: SimTime,
+    /// The churning node.
+    pub node: u32,
+    /// Departure, arrival, or rejoin.
+    pub kind: ChurnKind,
+}
+
+impl ChurnTrace {
+    fn to_json(&self) -> Value {
+        let mut v = Value::object()
+            .with("t_ns", self.at.as_nanos())
+            .with("node", self.node);
+        match self.kind {
+            ChurnKind::Depart { synchronized } => {
+                v.set("kind", "depart");
+                v.set("synchronized", synchronized);
+            }
+            ChurnKind::Arrive => v.set("kind", "arrive"),
+            ChurnKind::Rejoin => v.set("kind", "rejoin"),
+        }
+        v
+    }
+}
+
+/// One crawled node during a census campaign.
+#[derive(Clone, Debug)]
+pub struct CrawlEvent {
+    /// Campaign day of the probe.
+    pub day: f64,
+    /// Crawled node's address, pre-rendered.
+    pub addr: String,
+    /// GETADDR rounds issued against the node.
+    pub rounds: u64,
+    /// Distinct addresses the node revealed.
+    pub revealed: u64,
+    /// How many of those were ground-truth reachable.
+    pub reachable_revealed: u64,
+    /// Whether the crawled node was a pollution attacker.
+    pub malicious: bool,
+}
+
+impl CrawlEvent {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("day", self.day)
+            .with("addr", self.addr.as_str())
+            .with("rounds", self.rounds)
+            .with("revealed", self.revealed)
+            .with("reachable_revealed", self.reachable_revealed)
+            .with("malicious", self.malicious)
+    }
+}
+
+/// Every trace category in serialization order.
+pub const CATEGORIES: [&str; 5] = ["relay", "dial", "addr", "churn", "crawl"];
+
+/// The collected trace of one experiment: one ring buffer per category.
+///
+/// Unlike [`Tracer`], a `TraceLog` is plain owned data (`Send`), so the
+/// parallel experiment runner can carry it from a worker thread back to the
+/// caller.
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    /// Relay origin/receipt/send events.
+    pub relay: Ring<RelayEvent>,
+    /// Dial attempts and outcomes.
+    pub dial: Ring<DialEvent>,
+    /// ADDR exchanges.
+    pub addr: Ring<AddrEvent>,
+    /// Churn arrivals and departures.
+    pub churn: Ring<ChurnTrace>,
+    /// Census crawler probes.
+    pub crawl: Ring<CrawlEvent>,
+}
+
+impl TraceLog {
+    /// An empty log whose rings each hold at most `cap` events.
+    pub fn with_cap(cap: usize) -> TraceLog {
+        TraceLog {
+            relay: Ring::with_cap(cap),
+            dial: Ring::with_cap(cap),
+            addr: Ring::with_cap(cap),
+            churn: Ring::with_cap(cap),
+            crawl: Ring::with_cap(cap),
+        }
+    }
+
+    /// True when no category retained any event.
+    pub fn is_empty(&self) -> bool {
+        self.relay.is_empty()
+            && self.dial.is_empty()
+            && self.addr.is_empty()
+            && self.churn.is_empty()
+            && self.crawl.is_empty()
+    }
+
+    /// Total retained events across categories.
+    pub fn total_events(&self) -> u64 {
+        (self.relay.len() + self.dial.len() + self.addr.len() + self.churn.len() + self.crawl.len())
+            as u64
+    }
+
+    /// Total events evicted across categories.
+    pub fn total_dropped(&self) -> u64 {
+        self.relay.dropped()
+            + self.dial.dropped()
+            + self.addr.dropped()
+            + self.churn.dropped()
+            + self.crawl.dropped()
+    }
+
+    /// Serializes every non-empty category as `(name, JSONL)` pairs in
+    /// [`CATEGORIES`] order: one compact JSON object per line, `\n`-ended.
+    ///
+    /// The output is a pure function of the recorded events, so two
+    /// identical simulations produce byte-identical JSONL regardless of
+    /// runner thread count.
+    pub fn to_jsonl(&self) -> Vec<(&'static str, String)> {
+        fn render<T>(ring: &Ring<T>, to_json: impl Fn(&T) -> Value) -> String {
+            let mut out = String::new();
+            for ev in ring.iter() {
+                out.push_str(&to_json(ev).to_string());
+                out.push('\n');
+            }
+            out
+        }
+        let mut cats = Vec::new();
+        if !self.relay.is_empty() {
+            cats.push(("relay", render(&self.relay, RelayEvent::to_json)));
+        }
+        if !self.dial.is_empty() {
+            cats.push(("dial", render(&self.dial, DialEvent::to_json)));
+        }
+        if !self.addr.is_empty() {
+            cats.push(("addr", render(&self.addr, AddrEvent::to_json)));
+        }
+        if !self.churn.is_empty() {
+            cats.push(("churn", render(&self.churn, ChurnTrace::to_json)));
+        }
+        if !self.crawl.is_empty() {
+            cats.push(("crawl", render(&self.crawl, CrawlEvent::to_json)));
+        }
+        cats
+    }
+
+    /// Writes each non-empty category to `<dir>/<category>.jsonl`, creating
+    /// `dir` if needed. Returns the written paths.
+    pub fn write_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::new();
+        for (name, body) in self.to_jsonl() {
+            let path = dir.join(format!("{name}.jsonl"));
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(body.as_bytes())?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+/// Shared handle to a trace log, or a no-op when disabled.
+///
+/// Cloning is cheap; clones record into the same log. Like
+/// [`crate::metrics::Recorder`], a tracer is intentionally not `Send`: one
+/// experiment, one tracer, one thread.
+///
+/// Recording call sites should guard event construction behind
+/// [`Tracer::is_enabled`] so a disabled tracer costs one branch and no
+/// allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<TraceLog>>>,
+}
+
+impl Tracer {
+    /// The no-op tracer: records nothing, costs one branch per call.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A recording tracer whose rings each keep at most `cap` events.
+    pub fn enabled(cap: usize) -> Tracer {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TraceLog::with_cap(cap)))),
+        }
+    }
+
+    /// True when events will actually be recorded. Check this before
+    /// building an event struct.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a relay event.
+    pub fn relay(&self, ev: RelayEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().relay.push(ev);
+        }
+    }
+
+    /// Records a dial event.
+    pub fn dial(&self, ev: DialEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().dial.push(ev);
+        }
+    }
+
+    /// Records an ADDR exchange event.
+    pub fn addr(&self, ev: AddrEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().addr.push(ev);
+        }
+    }
+
+    /// Records a churn event.
+    pub fn churn(&self, ev: ChurnTrace) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().churn.push(ev);
+        }
+    }
+
+    /// Records a crawler probe event.
+    pub fn crawl(&self, ev: CrawlEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().crawl.push(ev);
+        }
+    }
+
+    /// Takes the accumulated log, leaving an empty one (same caps) behind.
+    /// `None` for a disabled tracer.
+    pub fn take(&self) -> Option<TraceLog> {
+        self.inner.as_ref().map(|inner| {
+            let mut log = inner.borrow_mut();
+            let cap = log.relay.cap();
+            std::mem::replace(&mut *log, TraceLog::with_cap(cap))
+        })
+    }
+
+    /// Clones the accumulated log without draining it.
+    pub fn snapshot(&self) -> Option<TraceLog> {
+        self.inner.as_ref().map(|inner| inner.borrow().clone())
+    }
+}
+
+/// Lowercase hex of a 32-byte hash.
+fn hex32(bytes: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(64);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relay_at(secs: u64) -> RelayEvent {
+        RelayEvent {
+            at: SimTime::from_secs(secs),
+            phase: RelayPhase::Send,
+            object: [7; 32],
+            is_block: false,
+            from: Some(1),
+            to: 2,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.relay(relay_at(1));
+        assert!(t.take().is_none());
+        assert!(t.snapshot().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_log() {
+        let t = Tracer::enabled(16);
+        let clone = t.clone();
+        t.relay(relay_at(1));
+        clone.relay(relay_at(2));
+        let log = t.take().unwrap();
+        assert_eq!(log.relay.len(), 2);
+        // take() drained the shared log.
+        assert_eq!(clone.snapshot().unwrap().relay.len(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let t = Tracer::enabled(3);
+        for s in 0..5 {
+            t.relay(relay_at(s));
+        }
+        let log = t.take().unwrap();
+        assert_eq!(log.relay.len(), 3);
+        assert_eq!(log.relay.dropped(), 2);
+        let times: Vec<u64> = log.relay.iter().map(|e| e.at.as_secs()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(log.total_dropped(), 2);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_in_category_order() {
+        let t = Tracer::enabled(16);
+        t.relay(RelayEvent {
+            at: SimTime::from_secs(3),
+            phase: RelayPhase::Origin,
+            object: [0xff; 32],
+            is_block: true,
+            from: None,
+            to: 9,
+        });
+        t.dial(DialEvent {
+            at: SimTime::from_secs(4),
+            initiator: 1,
+            target: "10.0.0.1:8333".into(),
+            dir: DialDir::Feeler,
+            kind: DialTargetKind::PhantomSilent,
+            ok: false,
+        });
+        t.churn(ChurnTrace {
+            at: SimTime::from_secs(5),
+            node: 4,
+            kind: ChurnKind::Depart { synchronized: true },
+        });
+        let log = t.take().unwrap();
+        let cats = log.to_jsonl();
+        let names: Vec<&str> = cats.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["relay", "dial", "churn"]);
+        let relay = &cats[0].1;
+        assert_eq!(relay.lines().count(), 1);
+        assert!(relay.contains("\"origin\""));
+        assert!(relay.contains(&"ff".repeat(32)));
+        assert!(relay.contains("\"from\":null"));
+        assert!(cats[1].1.contains("\"phantom_silent\""));
+        assert!(cats[2].1.contains("\"synchronized\":true"));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_across_identical_runs() {
+        let render = || {
+            let t = Tracer::enabled(8);
+            for s in 0..4 {
+                t.relay(relay_at(s));
+                t.addr(AddrEvent {
+                    at: SimTime::from_secs(s),
+                    from: 1,
+                    to: 2,
+                    dir: AddrDir::Recv,
+                    count: 10,
+                    reachable: None,
+                    accepted: Some(3),
+                });
+            }
+            t.take()
+                .unwrap()
+                .to_jsonl()
+                .into_iter()
+                .map(|(_, s)| s)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn write_dir_emits_only_nonempty_categories() {
+        let dir = std::env::temp_dir().join(format!("bitsync_trace_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Tracer::enabled(8);
+        t.crawl(CrawlEvent {
+            day: 1.5,
+            addr: "1.2.3.4:8333".into(),
+            rounds: 20,
+            revealed: 2300,
+            reachable_revealed: 120,
+            malicious: false,
+        });
+        let paths = t.take().unwrap().write_dir(&dir).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].ends_with("crawl.jsonl"));
+        let body = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(body.ends_with('\n'));
+        assert!(body.contains("\"reachable_revealed\":120"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

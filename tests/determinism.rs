@@ -23,6 +23,7 @@ fn run_with(threads: usize, targets: &[&str]) -> Vec<Report> {
         scale: Scale::Quick,
         seed: 2021,
         threads,
+        trace_cap: None,
     });
     runner
         .run(&targets.iter().map(|t| t.to_string()).collect::<Vec<_>>())
@@ -73,6 +74,7 @@ fn full_scale_reports_are_thread_count_invariant() {
             scale: Scale::Full,
             seed: 2021,
             threads,
+            trace_cap: None,
         });
         runner
             .run(&["census".to_string(), "fig7".to_string()])
@@ -106,6 +108,7 @@ fn subset_runs_reuse_the_same_per_experiment_seed() {
         scale: Scale::Quick,
         seed: 2021,
         threads: 1,
+        trace_cap: None,
     });
     let only_rounds = runner
         .run(&["rounds".to_string()])

@@ -44,6 +44,7 @@ fn run_reports(targets: &[&str]) -> Vec<(String, String)> {
         scale: Scale::Quick,
         seed: 2021,
         threads: 1,
+        trace_cap: None,
     });
     runner
         .run(&targets.iter().map(|t| t.to_string()).collect::<Vec<_>>())
