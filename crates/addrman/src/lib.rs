@@ -483,6 +483,18 @@ impl AddrMan {
     /// Exhaustively cross-checks every internal structure against every
     /// other, panicking with a description of the first inconsistency.
     ///
+    /// See [`AddrMan::try_check_invariants`] for the non-panicking variant
+    /// and the list of verified invariants.
+    pub fn check_invariants(&self) {
+        if let Err(msg) = self.try_check_invariants() {
+            panic!("addrman invariant violated: {msg}");
+        }
+    }
+
+    /// Exhaustively cross-checks every internal structure against every
+    /// other, returning a description of the first inconsistency instead of
+    /// panicking (so fuzz harnesses can record it and keep running).
+    ///
     /// Verified invariants:
     ///
     /// - the endpoint index, record slab, and member lists all agree on
@@ -497,33 +509,51 @@ impl AddrMan {
     ///
     /// O(tables + records): meant for tests and fuzz harnesses, not for
     /// hot paths.
-    pub fn check_invariants(&self) {
+    pub fn try_check_invariants(&self) -> Result<(), String> {
+        fn ensure(cond: bool, msg: impl FnOnce() -> String) -> Result<(), String> {
+            if cond {
+                Ok(())
+            } else {
+                Err(msg())
+            }
+        }
+
         let live: Vec<usize> = (0..self.infos.len())
             .filter(|&i| self.infos[i].is_some())
             .collect();
-        assert_eq!(self.index.len(), live.len(), "index size != live records");
-        assert_eq!(self.len(), live.len(), "member counts != live records");
+        ensure(self.index.len() == live.len(), || {
+            format!(
+                "index size != live records ({} != {})",
+                self.index.len(),
+                live.len()
+            )
+        })?;
+        ensure(self.len() == live.len(), || {
+            format!(
+                "member counts != live records ({} != {})",
+                self.len(),
+                live.len()
+            )
+        })?;
         for (a, &i) in &self.index {
             let info = self
                 .infos
                 .get(i)
                 .and_then(|o| o.as_ref())
-                .expect("index entry points at a vacant slab slot");
-            assert_eq!(info.addr, *a, "index key != record address");
+                .ok_or_else(|| format!("index entry {a:?} points at vacant slab slot {i}"))?;
+            ensure(info.addr == *a, || {
+                format!("index key {a:?} != record address {:?}", info.addr)
+            })?;
         }
 
         let new_cap = self.cfg.new_bucket_count * self.cfg.bucket_size;
         let tried_cap = self.cfg.tried_bucket_count * self.cfg.bucket_size;
-        assert!(
-            self.new_count() <= new_cap,
-            "new overflow: {} > {new_cap}",
-            self.new_count()
-        );
-        assert!(
-            self.tried_count() <= tried_cap,
-            "tried overflow: {} > {tried_cap}",
-            self.tried_count()
-        );
+        ensure(self.new_count() <= new_cap, || {
+            format!("new overflow: {} > {new_cap}", self.new_count())
+        })?;
+        ensure(self.tried_count() <= tried_cap, || {
+            format!("tried overflow: {} > {tried_cap}", self.tried_count())
+        })?;
 
         let mut new_refs = vec![0u32; self.infos.len()];
         let mut tried_refs = vec![0u32; self.infos.len()];
@@ -538,8 +568,10 @@ impl AddrMan {
                 let i = cell as usize;
                 let info = self.infos[i]
                     .as_ref()
-                    .expect("table cell points at a vacant slab slot");
-                assert_eq!(info.table, table, "cell table != record table");
+                    .ok_or_else(|| format!("{table:?} cell points at vacant slab slot {i}"))?;
+                ensure(info.table == table, || {
+                    format!("cell table {table:?} != record table {:?}", info.table)
+                })?;
                 refs[i] += 1;
             }
         }
@@ -549,8 +581,12 @@ impl AddrMan {
                 Table::New => (new_refs[i], tried_refs[i]),
                 Table::Tried => (tried_refs[i], new_refs[i]),
             };
-            assert_eq!(own, 1, "{:?} occupies {own} slots of its table", info.addr);
-            assert_eq!(other, 0, "{:?} also sits in the other table", info.addr);
+            ensure(own == 1, || {
+                format!("{:?} occupies {own} slots of its table", info.addr)
+            })?;
+            ensure(other == 0, || {
+                format!("{:?} also sits in the other table", info.addr)
+            })?;
         }
 
         for (table, list) in [
@@ -558,15 +594,27 @@ impl AddrMan {
             (Table::Tried, &self.tried_members),
         ] {
             for (pos, &i) in list.iter().enumerate() {
-                assert_eq!(self.member_pos[i], pos, "member_pos out of sync");
-                let info = self.infos[i].as_ref().expect("member record vacant");
-                assert_eq!(info.table, table, "member in the wrong list");
+                ensure(self.member_pos[i] == pos, || {
+                    format!(
+                        "member_pos out of sync: slot {i} says {} not {pos}",
+                        self.member_pos[i]
+                    )
+                })?;
+                let info = self.infos[i]
+                    .as_ref()
+                    .ok_or_else(|| format!("member record {i} vacant"))?;
+                ensure(info.table == table, || {
+                    format!("{:?} in the wrong member list", info.addr)
+                })?;
             }
         }
 
         for &i in &self.free {
-            assert!(self.infos[i].is_none(), "free-list slot {i} is occupied");
+            ensure(self.infos[i].is_none(), || {
+                format!("free-list slot {i} is occupied")
+            })?;
         }
+        Ok(())
     }
 }
 

@@ -22,10 +22,20 @@
 //! §"Observability"); `--trace-cap N` bounds each category's ring buffer
 //! (default 262144 events). `--profile PATH` writes a Chrome trace-event
 //! JSON file loadable in `chrome://tracing` or Perfetto.
+//!
+//! The separate `fuzz` subcommand runs the deterministic scenario fuzzer
+//! (EXPERIMENTS.md §"Fuzzing & invariants"):
+//!
+//! ```text
+//! repro fuzz [--seed N] [--runs K] [--max-steps M] [--out PATH]
+//!            [--fault duplicate-deliveries] [--replay FILE]
+//! ```
 
+use bitsync_core::experiments::fuzz::{self, FuzzConfig};
 use bitsync_core::experiments::{experiment_seed, ExperimentRunner, RunnerConfig, Scale, REGISTRY};
 use bitsync_core::profile::Profile;
 use bitsync_json::Value;
+use bitsync_node::world::Fault;
 use bitsync_sim::metrics::{peak_rss_bytes, Histogram, Throughput};
 use bitsync_sim::trace::DEFAULT_TRACE_CAP;
 
@@ -71,8 +81,144 @@ fn fmt_q(q: Option<f64>) -> String {
     }
 }
 
+/// Runs `repro fuzz ...` and exits: 0 when every scenario passed, 1 when a
+/// failure was found (with a shrunk repro written to `--out`), 2 on usage
+/// or I/O errors.
+fn fuzz_main(args: &[String]) -> ! {
+    let mut cfg = FuzzConfig::default();
+    let mut replay: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fuzz_usage("--seed needs a number"));
+            }
+            "--runs" => {
+                i += 1;
+                cfg.runs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fuzz_usage("--runs needs a positive number"));
+            }
+            "--max-steps" => {
+                i += 1;
+                cfg.max_steps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fuzz_usage("--max-steps needs a positive number"));
+            }
+            "--out" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| fuzz_usage("--out needs a file path"));
+                cfg.out = Some(std::path::PathBuf::from(path));
+            }
+            "--fault" => {
+                i += 1;
+                cfg.fault = match args.get(i).map(String::as_str) {
+                    Some("duplicate-deliveries") => Some(Fault::DuplicateDeliveries),
+                    _ => fuzz_usage("--fault must be duplicate-deliveries"),
+                };
+            }
+            "--replay" => {
+                i += 1;
+                replay = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| fuzz_usage("--replay needs a file path"))
+                        .clone(),
+                );
+            }
+            t => fuzz_usage(&format!("unknown fuzz argument '{t}'")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = replay {
+        let verdict = match fuzz::replay_file(std::path::Path::new(&path)) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "replayed {path}: {} events, {} invariant checks",
+            verdict.events_processed, verdict.checks
+        );
+        if verdict.passed() {
+            println!("PASS: scenario satisfies every invariant");
+            std::process::exit(0);
+        }
+        println!("FAIL:");
+        for f in &verdict.failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+
+    // A default repro path so a bare CI invocation always leaves an
+    // artifact behind on failure.
+    cfg.out
+        .get_or_insert_with(|| std::path::PathBuf::from("fuzz-repro.json"));
+    let started = std::time::Instant::now();
+    let outcome = fuzz::run_fuzz(&cfg);
+    eprintln!(
+        "[fuzz] seed {}, {} run{} completed, {} events, {} invariant checks, {:.1}s",
+        cfg.seed,
+        outcome.runs_completed,
+        if outcome.runs_completed == 1 { "" } else { "s" },
+        outcome.events_processed,
+        outcome.checks,
+        started.elapsed().as_secs_f64()
+    );
+    let Some(failure) = outcome.failure else {
+        println!(
+            "PASS: {} scenario{} satisfied every invariant",
+            outcome.runs_completed,
+            if outcome.runs_completed == 1 { "" } else { "s" }
+        );
+        std::process::exit(0);
+    };
+    println!("FAIL: run {} violated the harness:", failure.run_index);
+    for f in &failure.failures {
+        println!("  {f}");
+    }
+    println!(
+        "shrunk scenario:\n{}",
+        failure.shrunk.to_json().to_string_pretty()
+    );
+    if let Some(path) = &failure.repro_path {
+        println!("repro written to {}", path.display());
+        match failure.repro_confirmed {
+            Some(true) => println!("repro replay: confirmed (still fails)"),
+            Some(false) => println!("repro replay: WARNING — replay did not reproduce"),
+            None => {}
+        }
+    }
+    std::process::exit(1);
+}
+
+fn fuzz_usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: repro fuzz [--seed N] [--runs K] [--max-steps M] [--out PATH] \
+         [--fault duplicate-deliveries] [--replay FILE]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz_main(&args[1..]);
+    }
     let mut cfg = RunnerConfig {
         scale: Scale::Scaled,
         seed: 2021,
@@ -284,7 +430,9 @@ fn usage(err: &str) -> ! {
         "usage: repro [--list] [--seed N] [--scale quick|scaled|paper|full] [--threads N] \
          [--json DIR] [--metrics] [--trace DIR] [--trace-cap N] [--profile PATH] \
          [--only NAME[,NAME...]] \
-         <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>..."
+         <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>...\n\
+   or: repro fuzz [--seed N] [--runs K] [--max-steps M] [--out PATH] \
+         [--fault duplicate-deliveries] [--replay FILE]"
     );
     std::process::exit(2);
 }

@@ -14,9 +14,14 @@
 //! | [`rounds`] | §IV-B propagation rounds (8⁵, 2¹⁴) |
 //! | [`ablation`] | §V proposed refinements |
 //! | [`partition`] | §IV-A1 routing-attack evaluation on the live topology |
+//!
+//! [`fuzz`] is not a paper artifact: it is the deterministic scenario
+//! fuzzer + world invariant checker backing `repro fuzz` (EXPERIMENTS.md
+//! §"Fuzzing & invariants").
 
 pub mod ablation;
 pub mod census;
+pub mod fuzz;
 pub mod partition;
 pub mod registry;
 pub mod relay;

@@ -45,4 +45,4 @@ pub use config::{NodeConfig, RelayPolicy, TxAnnounce};
 pub use malicious::{AddrFlooder, FloodScale};
 pub use node::{unix_time, Node, NodeRequest, NodeStats, Outgoing, SIM_EPOCH_UNIX};
 pub use peer::{Direction, Handshake, NodeId, Peer};
-pub use world::{ChurnEvent, World, WorldConfig};
+pub use world::{ChurnEvent, Fault, World, WorldConfig};

@@ -16,7 +16,8 @@ use bitsync_net::latency::{LatencyConfig, LatencyModel};
 use bitsync_protocol::addr::{NetAddr, DEFAULT_PORT};
 use bitsync_protocol::hash::Hash256;
 use bitsync_protocol::message::Message;
-use bitsync_sim::event::EventQueue;
+use bitsync_sim::check::{Checker, MonotoneClock, ObjectLedger};
+use bitsync_sim::event::{Backend, EventQueue};
 use bitsync_sim::metrics::{Recorder, DEFAULT_BUCKETS};
 use bitsync_sim::rng::SimRng;
 use bitsync_sim::time::{SimDuration, SimTime};
@@ -89,6 +90,11 @@ pub struct WorldConfig {
     /// relay but never count as synchronized — the base unsynchronized
     /// level visible in Bitnodes data on top of the churn-driven part.
     pub laggard_fraction: f64,
+    /// Event-queue backend for this world, or `None` for the process
+    /// default. Differential harnesses (the scenario fuzzer) run the same
+    /// config on [`Backend::Wheel`] and [`Backend::Heap`] without touching
+    /// the process-wide default.
+    pub backend: Option<Backend>,
 }
 
 impl Default for WorldConfig {
@@ -114,6 +120,7 @@ impl Default for WorldConfig {
             connection_mean_lifetime: None,
             permanent_fraction: 0.37,
             laggard_fraction: 0.0,
+            backend: None,
         }
     }
 }
@@ -213,6 +220,17 @@ enum Ev {
     DropConn(NodeId, NodeId),
 }
 
+/// A deliberate bug the fuzz harness injects to prove the invariant layer
+/// catches it (see `bitsync-core`'s `experiments::fuzz`). Never enabled in
+/// real experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Every relayed block/transaction message is delivered twice. The
+    /// duplicate delivery breaks conservation (deliveries ≤ sends per
+    /// object) and perturbs relay ordering at every receiver.
+    DuplicateDeliveries,
+}
+
 /// A churn event recorded for analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChurnEvent {
@@ -283,6 +301,19 @@ pub struct World {
     /// [`World::attach_tracer`]; the handle is also cloned into every node
     /// so the pump can trace without going through the world.
     pub tracer: Tracer,
+    /// Invariant recorder, disabled by default. When enabled (via
+    /// [`World::attach_checker`]) the event loop checks time monotonicity,
+    /// per-object send/delivery conservation, outdegree caps, and addrman
+    /// consistency after every event that can mutate them. Checks are
+    /// read-only: an enabled checker never perturbs the simulation.
+    pub checker: Checker,
+    /// Active fault injection, if any (see [`Fault`]).
+    fault: Option<Fault>,
+    /// Send/delivery conservation ledger (maintained only while the
+    /// checker is enabled).
+    ledger: ObjectLedger,
+    /// Event-loop timestamp monotonicity witness.
+    clock: MonotoneClock,
 }
 
 /// Canonical metric names the world reports into its [`Recorder`].
@@ -321,6 +352,17 @@ fn new_world_recorder() -> Recorder {
     rec
 }
 
+/// The relayable object a message carries: `(hash, is_block)` for block,
+/// compact-block, and transaction payloads; `None` for everything else.
+fn relay_key(msg: &Message) -> Option<(Hash256, bool)> {
+    match msg {
+        Message::Block(b) => Some((b.block_hash(), true)),
+        Message::CmpctBlock(cb) => Some((cb.block_hash(), true)),
+        Message::Tx(tx) => Some((tx.txid(), false)),
+        _ => None,
+    }
+}
+
 impl World {
     /// Builds and boots a world: generates the population, seeds address
     /// books, and schedules the initial timers.
@@ -331,8 +373,12 @@ impl World {
         let churn = cfg.churn.map(ChurnModel::new);
         let as_model = bitsync_net::AsModel::from_paper();
 
+        let queue = match cfg.backend {
+            Some(backend) => EventQueue::with_backend(backend),
+            None => EventQueue::new(),
+        };
         let mut world = World {
-            queue: EventQueue::new(),
+            queue,
             rng: rng.fork("world"),
             latency,
             churn,
@@ -358,6 +404,10 @@ impl World {
             as_model,
             metrics: new_world_recorder(),
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
+            fault: None,
+            ledger: ObjectLedger::new(),
+            clock: MonotoneClock::new(),
             cfg,
         };
 
@@ -549,6 +599,20 @@ impl World {
         }
     }
 
+    /// Points the world at an invariant checker. Like
+    /// [`World::attach_metrics`], attach before running: conservation
+    /// bookkeeping starts from this moment, so sends scheduled earlier
+    /// would be seen as unmatched deliveries.
+    pub fn attach_checker(&mut self, checker: Checker) {
+        self.checker = checker;
+    }
+
+    /// Arms a deliberate [`Fault`] for every subsequent event. Harness-only:
+    /// proves the invariant layer catches the bug class.
+    pub fn inject_fault(&mut self, fault: Fault) {
+        self.fault = Some(fault);
+    }
+
     /// Shared access to a node (if online).
     pub fn node(&self, id: NodeId) -> Option<&Node> {
         self.nodes.get(id.0 as usize).and_then(|n| n.as_ref())
@@ -699,7 +763,68 @@ impl World {
         self.run_until(deadline)
     }
 
+    /// Runs until `deadline` or until `max_events` events have been
+    /// processed, whichever comes first — the fuzzer's bounded runs, where
+    /// a random scenario must terminate whatever feedback loops it
+    /// contains. Returns the number of events processed.
+    pub fn run_steps(&mut self, max_events: u64, deadline: SimTime) -> u64 {
+        let start = self.queue.events_processed();
+        let mut depth_hwm = 0usize;
+        let mut exhausted = false;
+        while self.queue.events_processed() - start < max_events {
+            let Some((now, ev)) = self.queue.pop_until(deadline) else {
+                exhausted = true;
+                break;
+            };
+            depth_hwm = depth_hwm.max(self.queue.len() + 1);
+            self.dispatch(now, ev);
+        }
+        // Only a drained queue advances the clock to the deadline; a run
+        // stopped by the step budget stays at its last event time.
+        if exhausted && self.queue.now() < deadline {
+            self.queue.advance_to(deadline);
+        }
+        let processed = self.queue.events_processed() - start;
+        self.metrics.inc(metric::EVENTS_PROCESSED, processed);
+        if depth_hwm > 0 {
+            self.metrics
+                .gauge_max(metric::QUEUE_DEPTH_HWM, depth_hwm as f64);
+        }
+        processed
+    }
+
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        let checking = self.checker.is_enabled();
+        // Which node's tables this event can mutate; checked after the
+        // handler so the checker sees the post-event state.
+        let mut touched: Option<NodeId> = None;
+        if checking {
+            let ok = self.clock.observe(now);
+            let last = self.clock.last();
+            self.checker.check(ok, now, "time_monotone", || {
+                format!("event at {now} after the loop reached {last}")
+            });
+            touched = match &ev {
+                Ev::Pump(id) | Ev::ConnectTick(id) | Ev::Feeler(id) => Some(*id),
+                Ev::DialResult { initiator, .. } => Some(*initiator),
+                Ev::Deliver { to, msg, .. } => {
+                    // Conservation: a delivery of a relayable object must
+                    // be covered by a previously scheduled send.
+                    if let Some((hash, _)) = relay_key(msg) {
+                        let ok = self.ledger.record_delivery(hash.0);
+                        let (sends, deliveries) = self.ledger.counts(&hash.0);
+                        self.checker.check(ok, now, "deliveries_le_sends", || {
+                            format!(
+                                "object {hash:?}: {deliveries} deliveries > {sends} sends at node {}",
+                                to.0
+                            )
+                        });
+                    }
+                    Some(*to)
+                }
+                _ => None,
+            };
+        }
         match ev {
             Ev::Pump(id) => self.on_pump(id, now),
             Ev::ConnectTick(id) => self.on_connect_tick(id, now),
@@ -725,6 +850,27 @@ impl World {
                     self.disconnect_pair(a, b);
                 }
             }
+        }
+        if checking {
+            if let Some(id) = touched {
+                self.check_node_invariants(id, now);
+            }
+        }
+    }
+
+    /// Post-event node checks: outdegree cap and addrman consistency.
+    /// Skipped silently when the node went offline during the event.
+    fn check_node_invariants(&self, id: NodeId, now: SimTime) {
+        let Some(node) = self.node(id) else { return };
+        let out = node.outbound_count();
+        let cap = node.cfg.max_outbound;
+        self.checker.check(out <= cap, now, "outdegree_cap", || {
+            format!("node {} holds {out} outbound connections > cap {cap}", id.0)
+        });
+        if let Err(msg) = node.addrman.try_check_invariants() {
+            self.checker.fail(now, "addrman_consistency", || {
+                format!("node {}: {msg}", id.0)
+            });
         }
     }
 
@@ -804,13 +950,7 @@ impl World {
             }
             // Relay instrumentation: record send completion per object.
             if instrumented || self.tracer.is_enabled() {
-                let key = match &msg {
-                    Message::Block(b) => Some((b.block_hash(), true)),
-                    Message::CmpctBlock(cb) => Some((cb.block_hash(), true)),
-                    Message::Tx(tx) => Some((tx.txid(), false)),
-                    _ => None,
-                };
-                if let Some((hash, is_block)) = key {
+                if let Some((hash, is_block)) = relay_key(&msg) {
                     if instrumented {
                         let vacant = !self.relay_log.contains_key(&hash);
                         // A vacant entry at send time means the object was
@@ -867,8 +1007,23 @@ impl World {
                 let delay =
                     self.latency
                         .message_delay(from_asn, to_asn, msg.wire_size(), &mut self.rng);
-                self.queue
-                    .schedule(send_end.max(now) + delay, Ev::Deliver { from: id, to, msg });
+                let at = send_end.max(now) + delay;
+                if self.checker.is_enabled() {
+                    if let Some((hash, _)) = relay_key(&msg) {
+                        self.ledger.record_send(hash.0);
+                    }
+                }
+                if self.fault == Some(Fault::DuplicateDeliveries) && relay_key(&msg).is_some() {
+                    self.queue.schedule(
+                        at,
+                        Ev::Deliver {
+                            from: id,
+                            to,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                self.queue.schedule(at, Ev::Deliver { from: id, to, msg });
             }
         }
         for req in requests {
@@ -1094,13 +1249,7 @@ impl World {
     fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: Message, now: SimTime) {
         // Relay instrumentation: first receipt of a block/tx object.
         if self.instrumented == Some(to) || self.tracer.is_enabled() {
-            let key = match &msg {
-                Message::Block(b) => Some((b.block_hash(), true)),
-                Message::CmpctBlock(cb) => Some((cb.block_hash(), true)),
-                Message::Tx(tx) => Some((tx.txid(), false)),
-                _ => None,
-            };
-            if let Some((hash, is_block)) = key {
+            if let Some((hash, is_block)) = relay_key(&msg) {
                 if self.instrumented == Some(to) {
                     self.relay_log.entry(hash).or_insert(RelayRecord {
                         received: now,

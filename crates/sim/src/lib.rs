@@ -12,6 +12,8 @@
 //! - [`rng`]: seeded [`rng::SimRng`] with the distribution helpers the
 //!   network model needs (exponential, Poisson, Zipf, weighted choice),
 //!   forkable per component so streams stay decoupled.
+//! - [`check`]: a [`check::Checker`] that records invariant violations
+//!   instead of panicking, for the scenario fuzzer's bounded runs.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@
 //! assert!(arrivals > 0);
 //! ```
 
+pub mod check;
 pub mod event;
 pub mod metrics;
 pub mod rng;

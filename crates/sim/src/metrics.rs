@@ -51,9 +51,14 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics if `bounds` is empty or not strictly increasing.
+    /// Panics if `bounds` is empty, contains a non-finite value, or is not
+    /// strictly increasing.
     pub fn with_buckets(bounds: &[f64]) -> Histogram {
         assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
@@ -151,12 +156,26 @@ impl Histogram {
         if bounds.is_empty() || counts.len() != bounds.len() + 1 {
             return None;
         }
+        // Non-finite bounds (NaN, ±inf — e.g. mangled report JSON) would
+        // make quantile interpolation produce NaN; reject them up front.
+        if bounds.iter().any(|b| !b.is_finite()) {
+            return None;
+        }
         if !bounds.windows(2).all(|w| w[0] < w[1]) {
             return None;
         }
         let count: u64 = counts.iter().sum();
         if (count > 0) != (min.is_some() && max.is_some()) {
             return None;
+        }
+        // A populated histogram needs a coherent observed range: finite,
+        // ordered, and a finite sum (observations are finite by the same
+        // argument as the bounds).
+        if count > 0 {
+            let (lo, hi) = (min.unwrap_or(f64::NAN), max.unwrap_or(f64::NAN));
+            if !lo.is_finite() || !hi.is_finite() || lo > hi || !sum.is_finite() {
+                return None;
+            }
         }
         Some(Histogram {
             bounds,
@@ -569,6 +588,68 @@ mod tests {
         let empty = Histogram::from_parts(vec![1.0], vec![0, 0], 0.0, None, None).unwrap();
         assert!(empty.is_empty());
         assert!(empty.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn from_parts_rejects_non_finite_parts() {
+        // Non-finite bounds previously passed validation and made
+        // quantile() interpolate with infinities / NaN.
+        let inf = f64::INFINITY;
+        assert!(Histogram::from_parts(vec![inf], vec![1, 0], 1.0, Some(1.0), Some(1.0)).is_none());
+        assert!(
+            Histogram::from_parts(vec![f64::NAN], vec![1, 0], 1.0, Some(1.0), Some(1.0)).is_none()
+        );
+        assert!(
+            Histogram::from_parts(vec![1.0, inf], vec![0, 1, 0], 2.0, Some(2.0), Some(2.0))
+                .is_none()
+        );
+        // Non-finite or inverted min/max on a populated histogram.
+        assert!(Histogram::from_parts(vec![1.0], vec![1, 0], 1.0, Some(-inf), Some(1.0)).is_none());
+        assert!(
+            Histogram::from_parts(vec![1.0], vec![1, 0], 1.0, Some(f64::NAN), Some(1.0)).is_none()
+        );
+        assert!(Histogram::from_parts(vec![1.0], vec![1, 0], 1.0, Some(2.0), Some(1.0)).is_none());
+        // Non-finite sum.
+        assert!(Histogram::from_parts(vec![1.0], vec![1, 0], inf, Some(0.5), Some(0.5)).is_none());
+        // NaN min/max on an *empty* histogram are absent, not NaN: fine.
+        let empty = Histogram::from_parts(vec![1.0], vec![0, 0], 0.0, None, None).unwrap();
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn with_buckets_rejects_non_finite_bounds() {
+        Histogram::with_buckets(&[1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn quantile_single_bucket_single_observation() {
+        let mut h = Histogram::with_buckets(&[10.0]);
+        h.observe(3.0);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_mass_in_overflow_stays_finite_and_clamped() {
+        // Every observation beyond the last bound.
+        let mut h = Histogram::with_buckets(&[1.0]);
+        for v in [5.0, 7.0, 9.0] {
+            h.observe(v);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v.is_finite(), "q={q} gave {v}");
+            assert!((5.0..=9.0).contains(&v), "q={q} gave {v}");
+        }
+        // The same shape arriving via from_parts with an out-of-range max
+        // (inconsistent but accepted: bucket placement is not re-derivable
+        // from count/min/max alone) still yields finite, clamped values.
+        let h = Histogram::from_parts(vec![100.0], vec![0, 5], 10.0, Some(1.0), Some(2.0)).unwrap();
+        let v = h.quantile(0.5).unwrap();
+        assert!(v.is_finite());
+        assert!((1.0..=2.0).contains(&v));
     }
 
     #[test]

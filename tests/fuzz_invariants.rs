@@ -1,0 +1,110 @@
+//! End-to-end tests of the scenario fuzzer (`experiments::fuzz`): a clean
+//! scenario passes every harness; a planted relay-ordering bug
+//! ([`Fault::DuplicateDeliveries`]) is caught by the invariant checker,
+//! shrunk, written as a ≤ 20-line repro file, and reproduced from it.
+//!
+//! Scenarios here are deliberately tiny so the tests stay affordable in
+//! debug builds; the release-mode CI smoke job runs the real campaign
+//! (`repro fuzz --runs 25 --max-steps 50000`).
+
+use bitsync_core::experiments::fuzz::{
+    check_scenario, replay_file, run_fuzz, shrink, FuzzConfig, Scenario, ScenarioGen,
+};
+use bitsync_node::world::Fault;
+
+fn tiny() -> Scenario {
+    Scenario {
+        seed: 11,
+        n_reachable: 6,
+        n_unreachable_full: 1,
+        n_phantoms: 12,
+        seed_reachable: 4,
+        seed_phantoms: 6,
+        n_malicious: 1,
+        churn_mean_secs: 600,
+        rejoin_probability: 0.5,
+        connection_mean_secs: 0,
+        block_interval_secs: 60,
+        tx_rate: 0.05,
+        compact_fraction: 0.5,
+        laggard_fraction: 0.1,
+        permanent_fraction: 0.5,
+        duration_secs: 240,
+        max_steps: 3_000,
+        fault: None,
+    }
+}
+
+#[test]
+fn clean_tiny_scenario_passes_every_harness() {
+    let verdict = check_scenario(&tiny());
+    assert!(
+        verdict.passed(),
+        "clean scenario failed: {:?}",
+        verdict.failures
+    );
+    assert!(verdict.events_processed > 0);
+    assert!(verdict.checks > 0, "checker never ran");
+}
+
+#[test]
+fn injected_duplicate_delivery_fault_is_caught_shrunk_and_reproduced() {
+    let mut scenario = tiny();
+    scenario.fault = Some(Fault::DuplicateDeliveries);
+    let verdict = check_scenario(&scenario);
+    assert!(!verdict.passed(), "planted fault went undetected");
+    assert!(
+        verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("deliveries_le_sends")),
+        "expected a conservation violation, got: {:?}",
+        verdict.failures
+    );
+
+    let (shrunk, spent) = shrink(&scenario, 6);
+    assert!(spent > 0, "shrinker never ran");
+    assert!(
+        !check_scenario(&shrunk).passed(),
+        "shrinking lost the failure"
+    );
+    assert_eq!(shrunk.fault, scenario.fault, "shrinking dropped the fault");
+
+    // The repro file is the flat JSON form: at most 20 lines, and
+    // replaying it as a named case reproduces the failure.
+    let pretty = shrunk.to_json().to_string_pretty();
+    assert!(
+        pretty.lines().count() <= 20,
+        "repro file too long:\n{pretty}"
+    );
+    let path = std::env::temp_dir().join(format!("bitsync-fuzz-repro-{}.json", std::process::id()));
+    std::fs::write(&path, &pretty).expect("write repro");
+    let replayed = replay_file(&path).expect("repro file must parse");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(replayed.scenario, shrunk, "repro file round-trip drifted");
+    assert!(!replayed.passed(), "replayed repro did not reproduce");
+}
+
+#[test]
+fn small_campaign_is_deterministic_and_passes() {
+    let cfg = FuzzConfig {
+        seed: 5,
+        runs: 2,
+        max_steps: 1_500,
+        fault: None,
+        out: None,
+        shrink_budget: 4,
+    };
+    let a = run_fuzz(&cfg);
+    assert!(a.passed(), "campaign failed: {:?}", a.failure);
+    assert_eq!(a.runs_completed, 2);
+    let b = run_fuzz(&cfg);
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "campaign not deterministic"
+    );
+    assert_eq!(a.checks, b.checks);
+    // Sampled scenarios honor the event budget cap.
+    let mut gen = ScenarioGen::new(cfg.seed);
+    assert_eq!(gen.sample(cfg.max_steps).max_steps, cfg.max_steps);
+}
