@@ -28,8 +28,15 @@
 //!
 //! ```text
 //! repro fuzz [--seed N] [--runs K] [--max-steps M] [--out PATH]
-//!            [--fault duplicate-deliveries] [--replay FILE]
+//!            [--fault NAME] [--replay FILE]
 //! ```
+//!
+//! `--fault` arms one of the named [`Fault`] variants in every sampled
+//! scenario: the planted bugs (`duplicate-deliveries`,
+//! `time-warp-deliveries`) must make the campaign fail via the invariant
+//! checker, while the benign fault-plane variants (`drop-messages`,
+//! `delay-messages`, `reorder-messages`, `stall-peers`, `addr-flood`,
+//! `connection-flaps`, `partition-flaps`) must pass all four harnesses.
 
 use bitsync_core::experiments::fuzz::{self, FuzzConfig};
 use bitsync_core::experiments::{experiment_seed, ExperimentRunner, RunnerConfig, Scale, REGISTRY};
@@ -122,9 +129,12 @@ fn fuzz_main(args: &[String]) -> ! {
             }
             "--fault" => {
                 i += 1;
-                cfg.fault = match args.get(i).map(String::as_str) {
-                    Some("duplicate-deliveries") => Some(Fault::DuplicateDeliveries),
-                    _ => fuzz_usage("--fault must be duplicate-deliveries"),
+                cfg.fault = match args.get(i).and_then(|s| Fault::parse(s)) {
+                    Some(f) => Some(f),
+                    None => {
+                        let names: Vec<&str> = Fault::ALL.iter().map(|f| f.name()).collect();
+                        fuzz_usage(&format!("--fault must be one of: {}", names.join(", ")))
+                    }
                 };
             }
             "--replay" => {
@@ -209,7 +219,15 @@ fn fuzz_usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: repro fuzz [--seed N] [--runs K] [--max-steps M] [--out PATH] \
-         [--fault duplicate-deliveries] [--replay FILE]"
+         [--fault NAME] [--replay FILE]"
+    );
+    eprintln!(
+        "fault names: {}",
+        Fault::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2);
 }
@@ -430,9 +448,9 @@ fn usage(err: &str) -> ! {
         "usage: repro [--list] [--seed N] [--scale quick|scaled|paper|full] [--threads N] \
          [--json DIR] [--metrics] [--trace DIR] [--trace-cap N] [--profile PATH] \
          [--only NAME[,NAME...]] \
-         <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition>...\n\
+         <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition|resilience>...\n\
    or: repro fuzz [--seed N] [--runs K] [--max-steps M] [--out PATH] \
-         [--fault duplicate-deliveries] [--replay FILE]"
+         [--fault NAME] [--replay FILE]"
     );
     std::process::exit(2);
 }

@@ -24,7 +24,10 @@
 //! failing configuration and written as a flat JSON repro file that
 //! [`replay_file`] (and `repro fuzz --replay`) re-runs as a named case.
 //! A deliberate [`Fault`] can be injected to prove the harness catches a
-//! planted relay-ordering bug end to end.
+//! planted bug end to end: the two invariant-violating variants
+//! (duplicate deliveries, time-warped deliveries) must trip the checker,
+//! while the benign fault-plane variants (drops, delays, stalls, flaps,
+//! floods) must sail through all four harnesses.
 //!
 //! Everything is a pure function of the seed: same seed, same scenarios,
 //! same verdicts, byte-identical repro files.
@@ -85,7 +88,8 @@ pub struct Scenario {
     /// Event budget: the run stops after this many events even if the
     /// queue still holds work before the deadline.
     pub max_steps: u64,
-    /// Injected fault, if any (repro files carry it as `"fault": 1`).
+    /// Injected fault, if any (repro files carry it as `"fault": <code>`,
+    /// see [`Fault::code`]).
     pub fault: Option<Fault>,
 }
 
@@ -112,8 +116,8 @@ impl Scenario {
             .with("permanent_fraction", self.permanent_fraction)
             .with("duration_secs", self.duration_secs)
             .with("max_steps", self.max_steps);
-        if self.fault.is_some() {
-            v.set("fault", 1u64);
+        if let Some(f) = self.fault {
+            v.set("fault", f.code());
         }
         v
     }
@@ -140,9 +144,11 @@ impl Scenario {
             Ok(v as u64)
         };
         let fault = match fields.iter().find(|(k, _)| k == "fault") {
-            Some((_, v)) if *v == 1.0 => Some(Fault::DuplicateDeliveries),
             Some((_, v)) if *v == 0.0 => None,
-            Some((_, v)) => return Err(format!("unknown fault code {v}")),
+            Some((_, v)) => match Fault::from_code(*v as u64) {
+                Some(f) if *v == f.code() as f64 => Some(f),
+                _ => return Err(format!("unknown fault code {v}")),
+            },
             None => None,
         };
         Ok(Scenario {
@@ -208,6 +214,10 @@ impl Scenario {
                 .then(|| SimDuration::from_secs(self.connection_mean_secs)),
             instrument: Some(0),
             backend: Some(backend),
+            fault: self
+                .fault
+                .and_then(|f| f.plane_config())
+                .unwrap_or_default(),
             ..WorldConfig::default()
         }
     }
@@ -441,8 +451,10 @@ pub fn check_scenario(scenario: &Scenario) -> ScenarioVerdict {
 
     // 2. Trace replay: the relay histogram reconstructed from the event
     // log must equal the live one exactly. Only meaningful when the ring
-    // kept every event and no fault skews the live side.
-    if scenario.fault.is_none() {
+    // kept every event and no invariant-violating fault skews the live
+    // side; benign fault-plane variants (drops, delays, stalls, flaps)
+    // act before delivery, so send-side relay accounting stays exact.
+    if scenario.fault.is_none_or(|f| !f.violates_invariants()) {
         if let Some(log) = tracer.take() {
             if log.relay.dropped() == 0 {
                 let events: Vec<_> = log.relay.iter().cloned().collect();
@@ -761,6 +773,24 @@ mod tests {
         let text = s.to_json().to_string_pretty();
         let parsed = Scenario::from_json_str(&text).expect("round trip");
         assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn every_fault_code_round_trips() {
+        for f in Fault::ALL {
+            let mut s = tiny();
+            s.fault = Some(f);
+            let text = s.to_json().to_string_pretty();
+            let parsed = Scenario::from_json_str(&text).expect("round trip");
+            assert_eq!(parsed.fault, Some(f), "{}", f.name());
+        }
+        let mut s = tiny();
+        s.fault = Some(Fault::DuplicateDeliveries);
+        let bogus = s
+            .to_json()
+            .to_string_pretty()
+            .replace("\"fault\": 1", "\"fault\": 99");
+        assert!(Scenario::from_json_str(&bogus).is_err(), "unknown code");
     }
 
     #[test]

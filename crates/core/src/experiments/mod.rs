@@ -14,6 +14,7 @@
 //! | [`rounds`] | §IV-B propagation rounds (8⁵, 2¹⁴) |
 //! | [`ablation`] | §V proposed refinements |
 //! | [`partition`] | §IV-A1 routing-attack evaluation on the live topology |
+//! | [`resilience`] | §IV root causes as a fault plane × Core countermeasures |
 //!
 //! [`fuzz`] is not a paper artifact: it is the deterministic scenario
 //! fuzzer + world invariant checker backing `repro fuzz` (EXPERIMENTS.md
@@ -25,6 +26,7 @@ pub mod fuzz;
 pub mod partition;
 pub mod registry;
 pub mod relay;
+pub mod resilience;
 pub mod resync;
 pub mod rounds;
 pub mod runner;

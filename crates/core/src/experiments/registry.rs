@@ -114,6 +114,7 @@ pub static REGISTRY: &[Constructor] = &[
     || Box::<super::resync::ResyncExperiment>::default(),
     || Box::<super::partition::PartitionExperiment>::default(),
     || Box::<super::ablation::AblationExperiment>::default(),
+    || Box::<super::resilience::ResilienceExperiment>::default(),
 ];
 
 /// The registered experiment names, in registry order.

@@ -7,6 +7,7 @@ use crate::experiments::ablation::AblationResult;
 use crate::experiments::census::CensusExperimentResult;
 use crate::experiments::partition::PartitionResult;
 use crate::experiments::relay::RelayResult;
+use crate::experiments::resilience::ResilienceResult;
 use crate::experiments::resync::ResyncResult;
 use crate::experiments::rounds::RoundsResult;
 use crate::experiments::stability::StabilityResult;
@@ -496,6 +497,61 @@ pub fn render_ablation(r: &AblationResult) -> String {
                 .map(|v| format!("{v:.2}"))
                 .unwrap_or_else(|| "-".into()),
             arm.mean_sync_fraction * 100.0
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders the resilience sweep: fault intensity × countermeasures, with
+/// relay-delay deltas against the §IV baseline (intensity 0, off).
+pub fn render_resilience(r: &ResilienceResult) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "resilience — fault-plane intensity × Core countermeasures"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<9} {:<8} {:>6} {:>8} {:>7} {:>6} {:>12} {:>8} {:>7} {:>8} {:>8}",
+        "intensity",
+        "counterm",
+        "sync%",
+        "minsync%",
+        "outdeg",
+        "stab",
+        "blk-relay(s)",
+        "Δrelay",
+        "banned",
+        "retries",
+        "rescues"
+    )
+    .unwrap();
+    let base_relay = r.baseline().mean_block_relay_secs;
+    for c in &r.cells {
+        let relay = c
+            .mean_block_relay_secs
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "-".into());
+        let delta = match (c.mean_block_relay_secs, base_relay) {
+            (Some(v), Some(b)) => format!("{:+.2}", v - b),
+            _ => "-".into(),
+        };
+        writeln!(
+            out,
+            "  {:<9.2} {:<8} {:>5.1} {:>7.1} {:>7.2} {:>6.2} {:>12} {:>8} {:>7} {:>8} {:>8}",
+            c.intensity,
+            if c.countermeasures { "on" } else { "off" },
+            c.mean_sync_fraction * 100.0,
+            c.min_sync_fraction * 100.0,
+            c.mean_outdegree,
+            c.outdegree_stability,
+            relay,
+            delta,
+            c.peers_banned,
+            c.dial_retries,
+            c.stale_rescues
         )
         .unwrap();
     }

@@ -1,7 +1,7 @@
 //! Node behaviour configuration.
 
 use bitsync_addrman::AddrManConfig;
-use bitsync_sim::time::SimDuration;
+use bitsync_sim::time::{SimDuration, SimTime};
 
 /// How transactions are announced to peers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +41,122 @@ impl RelayPolicy {
             prioritize_blocks: true,
             outbound_first: true,
         }
+    }
+}
+
+/// Bitcoin Core's countermeasure layer: misbehavior discouragement,
+/// per-address dial backoff, handshake timeouts, and stale-tip recovery.
+///
+/// Everything defaults to [`ResilienceConfig::off`] so existing worlds
+/// (and their golden snapshots) are untouched; the `resilience`
+/// experiment flips the switches via [`ResilienceConfig::bitcoin_core`].
+/// Thresholds stay populated even when a mechanism is off, so the pure
+/// helpers (e.g. [`backoff_delay`]) are always well-defined.
+#[derive(Clone, Debug)]
+pub struct ResilienceConfig {
+    /// Score protocol misbehavior (oversized/over-budget ADDR) and ban
+    /// peers crossing [`ResilienceConfig::ban_threshold`].
+    pub misbehavior: bool,
+    /// Score at which a peer is disconnected and its address discouraged
+    /// (Core: 100).
+    pub ban_threshold: u32,
+    /// How long a discouraged address is neither dialed nor accepted
+    /// (Core: 24 h).
+    pub discouragement_window: SimDuration,
+    /// Penalty for an ADDR message over the 1000-entry protocol cap.
+    /// Core scores oversized messages as instant discouragement.
+    pub oversize_addr_penalty: u32,
+    /// Per-connection budget of total ADDR entries accepted before
+    /// further messages start scoring (a coarse stand-in for Core 0.21's
+    /// addr rate limiter).
+    pub addr_entry_budget: u64,
+    /// Penalty per ADDR message received past the entry budget.
+    pub addr_flood_penalty: u32,
+    /// Apply exponential per-address backoff to failed dials.
+    pub dial_backoff: bool,
+    /// Backoff base after a fast refusal (RST): the host is up, retry
+    /// soon.
+    pub backoff_base_refused: SimDuration,
+    /// Backoff base after a blackholed timeout: the host looks dead,
+    /// retry much later.
+    pub backoff_base_timeout: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+    /// Disconnect peers stuck mid-handshake for this long (Core: 60 s),
+    /// or `None` to let them wedge the slot (the 0.20 keepalive only
+    /// covers completed handshakes).
+    pub handshake_timeout: Option<SimDuration>,
+    /// With no tip advance for this long, open one extra outbound
+    /// connection (Core: 30 min), or `None` to disable.
+    pub stale_tip_timeout: Option<SimDuration>,
+    /// World-side sweep interval for the timeout/stale-tip checks.
+    pub tick_interval: SimDuration,
+}
+
+impl ResilienceConfig {
+    /// Every countermeasure disabled (the default).
+    pub fn off() -> Self {
+        ResilienceConfig {
+            misbehavior: false,
+            ban_threshold: 100,
+            discouragement_window: SimDuration::from_hours(24),
+            oversize_addr_penalty: 100,
+            addr_entry_budget: 5_000,
+            addr_flood_penalty: 25,
+            dial_backoff: false,
+            backoff_base_refused: SimDuration::from_secs(10),
+            backoff_base_timeout: SimDuration::from_secs(60),
+            backoff_cap: SimDuration::from_hours(1),
+            handshake_timeout: None,
+            stale_tip_timeout: None,
+            tick_interval: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Every countermeasure enabled at Bitcoin Core-shaped thresholds.
+    pub fn bitcoin_core() -> Self {
+        ResilienceConfig {
+            misbehavior: true,
+            dial_backoff: true,
+            handshake_timeout: Some(SimDuration::from_secs(60)),
+            stale_tip_timeout: Some(SimDuration::from_mins(30)),
+            ..Self::off()
+        }
+    }
+
+    /// True when the world must run the periodic per-node resilience
+    /// sweep (handshake timeouts, stale-tip detection).
+    pub fn needs_tick(&self) -> bool {
+        self.handshake_timeout.is_some() || self.stale_tip_timeout.is_some()
+    }
+
+    /// True when a discouragement recorded at `since` still covers `now`.
+    pub fn discouraged_at(&self, since: SimTime, now: SimTime) -> bool {
+        now.saturating_since(since) < self.discouragement_window
+    }
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+/// The per-address dial backoff schedule: `base(kind) * 2^(failures-1)`,
+/// clamped to `cfg.backoff_cap`. Monotone non-decreasing in `failures`
+/// (for a fixed kind) and capped — both properties are pinned by tests.
+pub fn backoff_delay(cfg: &ResilienceConfig, refused: bool, failures: u32) -> SimDuration {
+    let base = if refused {
+        cfg.backoff_base_refused
+    } else {
+        cfg.backoff_base_timeout
+    };
+    let exp = failures.saturating_sub(1).min(20);
+    let delay = base.saturating_mul(1u64 << exp);
+    if delay > cfg.backoff_cap {
+        cfg.backoff_cap
+    } else {
+        delay
     }
 }
 
@@ -86,6 +202,9 @@ pub struct NodeConfig {
     pub peer_timeout: SimDuration,
     /// Mempool capacity, transactions.
     pub mempool_capacity: usize,
+    /// Countermeasure layer (misbehavior scoring, dial backoff,
+    /// handshake/stale-tip timeouts). Off by default.
+    pub resilience: ResilienceConfig,
 }
 
 impl NodeConfig {
@@ -109,6 +228,15 @@ impl NodeConfig {
             ping_interval: SimDuration::from_secs(120),
             peer_timeout: SimDuration::from_mins(20),
             mempool_capacity: 50_000,
+            resilience: ResilienceConfig::off(),
+        }
+    }
+
+    /// Core defaults with the full countermeasure layer switched on.
+    pub fn resilient() -> Self {
+        NodeConfig {
+            resilience: ResilienceConfig::bitcoin_core(),
+            ..Self::bitcoin_core()
         }
     }
 
@@ -151,5 +279,30 @@ mod tests {
         assert!(c.addrman.getaddr_from_tried_only);
         assert_eq!(c.addrman.horizon_days, 17);
         assert_eq!(c.max_outbound, 8); // unchanged
+    }
+
+    #[test]
+    fn resilience_defaults_off() {
+        let c = NodeConfig::bitcoin_core();
+        assert!(!c.resilience.misbehavior);
+        assert!(!c.resilience.dial_backoff);
+        assert!(!c.resilience.needs_tick());
+        let r = NodeConfig::resilient();
+        assert!(r.resilience.misbehavior);
+        assert!(r.resilience.dial_backoff);
+        assert!(r.resilience.needs_tick());
+        assert_eq!(
+            r.resilience.handshake_timeout,
+            Some(SimDuration::from_secs(60))
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_shape() {
+        let r = ResilienceConfig::bitcoin_core();
+        assert_eq!(backoff_delay(&r, true, 1), SimDuration::from_secs(10));
+        assert_eq!(backoff_delay(&r, true, 2), SimDuration::from_secs(20));
+        assert_eq!(backoff_delay(&r, false, 1), SimDuration::from_secs(60));
+        assert_eq!(backoff_delay(&r, false, 40), r.backoff_cap);
     }
 }

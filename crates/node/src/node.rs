@@ -46,6 +46,10 @@ pub fn unix_time(now: SimTime) -> i64 {
 pub enum NodeRequest {
     /// Tear down the connection to this peer (e.g. a completed feeler).
     Disconnect(NodeId),
+    /// Tear down the connection *and* record that the peer crossed the
+    /// misbehavior ban threshold (its address is already discouraged
+    /// node-side; the world disconnects and traces the ban).
+    Ban(NodeId),
 }
 
 /// A message handed to the socket writer, with its computed transmission
@@ -83,6 +87,22 @@ pub struct NodeStats {
     pub msgs_processed: u64,
     /// Messages flushed by the socket writer.
     pub msgs_sent: u64,
+    /// Dials skipped because the selected address was backed off or
+    /// discouraged.
+    pub dial_retries_deferred: u64,
+    /// Peers banned for crossing the misbehavior threshold.
+    pub peers_banned: u64,
+    /// Stale-tip episodes that triggered an extra outbound dial.
+    pub stale_rescues: u64,
+}
+
+/// Per-address exponential dial backoff state.
+#[derive(Clone, Copy, Debug, Default)]
+struct BackoffEntry {
+    /// Consecutive failures since the last success.
+    failures: u32,
+    /// Earliest time the address may be dialed again.
+    retry_at: SimTime,
 }
 
 /// A compact block awaiting its missing transactions.
@@ -132,6 +152,20 @@ pub struct Node {
     pub stats: NodeStats,
     /// When set, the node is ADDR-flooding malware (§IV-B, Figure 8).
     pub flooder: Option<crate::malicious::AddrFlooder>,
+    /// Discouraged ("banned") addresses and when they were discouraged;
+    /// neither dialed nor accepted within the discouragement window.
+    discouraged: HashMap<NetAddr, SimTime>,
+    /// Per-address dial backoff (lookup-only: never iterated, so the
+    /// hash map's order cannot leak into the simulation).
+    dial_backoff: HashMap<NetAddr, BackoffEntry>,
+    /// Address whose dial was deferred this tick (backoff/discouragement),
+    /// for the world to count and trace.
+    deferred_dial: Option<NetAddr>,
+    /// Last time the chain tip advanced (drives stale-tip detection).
+    pub last_tip_change: SimTime,
+    /// Whether the stale-tip countermeasure currently grants one extra
+    /// outbound slot.
+    pub stale_tip_extra: bool,
     /// Per-event trace sink; the world clones its own handle in here so the
     /// pump and message handlers can trace. Disabled by default.
     pub tracer: Tracer,
@@ -162,6 +196,11 @@ impl Node {
             getaddr_cached: None,
             stats: NodeStats::default(),
             flooder: None,
+            discouraged: HashMap::new(),
+            dial_backoff: HashMap::new(),
+            deferred_dial: None,
+            last_tip_change: SimTime::ZERO,
+            stale_tip_extra: false,
             tracer: Tracer::disabled(),
             rng,
         }
@@ -209,9 +248,16 @@ impl Node {
         self.reachable && self.inbound_count() < self.cfg.max_inbound
     }
 
+    /// Current outbound slot budget: the configured maximum, plus one
+    /// while the stale-tip countermeasure is active (Core's extra
+    /// block-relay-only connection).
+    pub fn outbound_target(&self) -> usize {
+        self.cfg.max_outbound + usize::from(self.stale_tip_extra)
+    }
+
     /// Whether the node wants to dial a new outbound connection now.
     pub fn wants_outbound(&self) -> bool {
-        self.in_flight_attempt.is_none() && self.outbound_count() < self.cfg.max_outbound
+        self.in_flight_attempt.is_none() && self.outbound_count() < self.outbound_target()
     }
 
     /// Picks the next outbound target from addrman and records the attempt.
@@ -224,6 +270,9 @@ impl Node {
         let target = self.addrman.select(&mut self.rng, unix_time(now))?;
         if target == self.addr || self.peer_addrs.values().any(|a| *a == target) {
             return None; // already connected or self; retry next tick
+        }
+        if self.dial_deferred(&target, now) {
+            return None; // discouraged or backed off; retry next tick
         }
         self.addrman.attempt(&target, unix_time(now));
         self.in_flight_attempt = Some((target, Direction::Outbound));
@@ -242,20 +291,66 @@ impl Node {
         if target == self.addr || self.peer_addrs.values().any(|a| *a == target) {
             return None;
         }
+        if self.dial_deferred(&target, now) {
+            return None; // banned addresses are not even feeler-probed
+        }
         self.addrman.attempt(&target, unix_time(now));
         self.in_flight_attempt = Some((target, Direction::Feeler));
         self.stats.feeler_attempts += 1;
         Some(target)
     }
 
-    /// The world reports a failed dial (timeout or refusal).
-    pub fn on_attempt_failed(&mut self, addr: NetAddr, _now: SimTime) {
+    /// Whether dialing `target` is currently blocked by discouragement or
+    /// (for regular outbound dials) backoff; records the deferral for the
+    /// world to count.
+    fn dial_deferred(&mut self, target: &NetAddr, now: SimTime) -> bool {
+        let blocked = self.is_discouraged(target, now)
+            || (self.cfg.resilience.dial_backoff
+                && self
+                    .dial_backoff
+                    .get(target)
+                    .is_some_and(|e| now < e.retry_at));
+        if blocked {
+            self.stats.dial_retries_deferred += 1;
+            self.deferred_dial = Some(*target);
+        }
+        blocked
+    }
+
+    /// Takes the address whose dial this tick deferred, if any (world-side
+    /// metric/trace hook).
+    pub fn take_deferred_dial(&mut self) -> Option<NetAddr> {
+        self.deferred_dial.take()
+    }
+
+    /// Whether `addr` is inside its discouragement window.
+    pub fn is_discouraged(&self, addr: &NetAddr, now: SimTime) -> bool {
+        self.discouraged
+            .get(addr)
+            .is_some_and(|since| self.cfg.resilience.discouraged_at(*since, now))
+    }
+
+    /// Consecutive dial failures currently recorded against `addr`.
+    pub fn dial_failures(&self, addr: &NetAddr) -> u32 {
+        self.dial_backoff.get(addr).map_or(0, |e| e.failures)
+    }
+
+    /// The world reports a failed dial; `refused` distinguishes a fast
+    /// refusal (RST — the host is up) from a blackholed timeout (likely a
+    /// phantom), which the backoff schedule treats very differently.
+    pub fn on_attempt_failed(&mut self, addr: NetAddr, refused: bool, now: SimTime) {
         if self
             .in_flight_attempt
             .as_ref()
             .is_some_and(|(a, _)| *a == addr)
         {
             self.in_flight_attempt = None;
+        }
+        if self.cfg.resilience.dial_backoff {
+            let entry = self.dial_backoff.entry(addr).or_default();
+            entry.failures = entry.failures.saturating_add(1);
+            entry.retry_at =
+                now + crate::config::backoff_delay(&self.cfg.resilience, refused, entry.failures);
         }
     }
 
@@ -267,10 +362,13 @@ impl Node {
             self.in_flight_attempt = None;
         }
         let mut p = Peer::new(peer, dir);
+        p.connected_at = now;
         if dir != Direction::Inbound {
             // The initiator speaks first.
             p.send_q.push_back(self.version_msg(addr, now));
             p.handshake = Handshake::AwaitVersion;
+            // The address answered; forget any dial backoff against it.
+            self.dial_backoff.remove(&addr);
         }
         self.peers.insert(peer, p);
         self.peer_addrs.insert(peer, addr);
@@ -440,7 +538,7 @@ impl Node {
             Message::Version(v) => self.on_version(from, v, now),
             Message::Verack => self.on_verack(from, now, requests),
             Message::GetAddr => self.on_getaddr(from, now),
-            Message::Addr(list) => self.on_addr(from, list, now),
+            Message::Addr(list) => self.on_addr(from, list, now, requests),
             Message::SendAddrV2 => {
                 // BIP 155 negotiation acknowledged; the simulated network
                 // gossips legacy entries, so no state change is needed.
@@ -452,7 +550,7 @@ impl Node {
                     .iter()
                     .filter_map(|e| e.to_legacy().map(|a| TimestampedAddr::new(e.time, a)))
                     .collect();
-                self.on_addr(from, legacy, now);
+                self.on_addr(from, legacy, now, requests);
             }
             Message::Ping(n) => self.send(from, Message::Pong(n)),
             Message::Pong(_) => {}
@@ -596,9 +694,33 @@ impl Node {
         self.send(from, Message::Addr(list));
     }
 
-    fn on_addr(&mut self, from: NodeId, list: Vec<TimestampedAddr>, now: SimTime) {
+    fn on_addr(
+        &mut self,
+        from: NodeId,
+        list: Vec<TimestampedAddr>,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) {
         self.stats.addr_msgs_received += 1;
         self.stats.addrs_received += list.len() as u64;
+        if self.cfg.resilience.misbehavior {
+            let res = &self.cfg.resilience;
+            let mut penalty = 0u32;
+            if list.len() > bitsync_sim::fault::MAX_ADDR_PER_MSG {
+                // Protocol violation: Core never sends more than 1000
+                // entries per ADDR.
+                penalty += res.oversize_addr_penalty;
+            }
+            if let Some(p) = self.peers.get_mut(&from) {
+                p.addr_entries += list.len() as u64;
+                if p.addr_entries > res.addr_entry_budget {
+                    penalty += res.addr_flood_penalty;
+                }
+            }
+            if penalty > 0 && self.misbehave(from, penalty, now, requests) {
+                return; // banned: do not ingest the flood
+            }
+        }
         let source = self.peer_addrs.get(&from).copied().unwrap_or(self.addr);
         let mut fresh = Vec::new();
         for entry in &list {
@@ -635,6 +757,46 @@ impl Node {
                 self.send(candidates[i], Message::Addr(list.clone()));
             }
         }
+    }
+
+    /// Adds `penalty` to the peer's misbehavior score (Core's
+    /// `Misbehaving`). Crossing the ban threshold discourages the peer's
+    /// address and asks the world to disconnect; returns `true` exactly
+    /// when that happened (at most once per connection).
+    fn misbehave(
+        &mut self,
+        from: NodeId,
+        penalty: u32,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) -> bool {
+        let threshold = self.cfg.resilience.ban_threshold;
+        let Some(p) = self.peers.get_mut(&from) else {
+            return false;
+        };
+        let already_banned = p.misbehavior >= threshold;
+        p.misbehavior = p.misbehavior.saturating_add(penalty);
+        if already_banned || p.misbehavior < threshold {
+            return false;
+        }
+        if let Some(addr) = self.peer_addrs.get(&from) {
+            self.discouraged.insert(*addr, now);
+        }
+        self.stats.peers_banned += 1;
+        requests.push(NodeRequest::Ban(from));
+        true
+    }
+
+    /// Stale-tip sweep (world-driven): with no tip advance for `timeout`,
+    /// grant one extra outbound slot until the next block arrives.
+    /// Returns `true` when a new rescue was triggered.
+    pub fn check_stale_tip(&mut self, now: SimTime, timeout: SimDuration) -> bool {
+        if self.stale_tip_extra || now.saturating_since(self.last_tip_change) <= timeout {
+            return false;
+        }
+        self.stale_tip_extra = true;
+        self.stats.stale_rescues += 1;
+        true
     }
 
     fn on_inv(&mut self, from: NodeId, items: Vec<InvVect>) {
@@ -815,6 +977,11 @@ impl Node {
             return false;
         }
         self.stats.blocks_accepted += 1;
+        // The tip advanced: reset stale-tip detection and retire any
+        // extra outbound slot it granted (the connection itself stays;
+        // natural churn brings the count back to the configured target).
+        self.last_tip_change = now;
+        self.stale_tip_extra = false;
         self.mempool.remove_confirmed(&block.txids());
         self.relay_block(&hash);
         // Connect any orphan waiting on this block.

@@ -74,6 +74,15 @@ pub struct Peer {
     pub last_recv: SimTime,
     /// When the next keepalive `PING` is due.
     pub next_ping_at: SimTime,
+    /// When the TCP connection was established (drives the handshake
+    /// timeout countermeasure).
+    pub connected_at: SimTime,
+    /// Accumulated misbehavior score (Core's `Misbehaving`); crossing the
+    /// ban threshold discouraged-bans the peer when scoring is enabled.
+    pub misbehavior: u32,
+    /// Total ADDR entries accepted from this peer (drives the flood
+    /// budget).
+    pub addr_entries: u64,
 }
 
 impl Peer {
@@ -91,6 +100,9 @@ impl Peer {
             next_inv_at: SimTime::ZERO,
             last_recv: SimTime::ZERO,
             next_ping_at: SimTime::ZERO,
+            connected_at: SimTime::ZERO,
+            misbehavior: 0,
+            addr_entries: 0,
         }
     }
 

@@ -18,6 +18,7 @@ use bitsync_protocol::hash::Hash256;
 use bitsync_protocol::message::Message;
 use bitsync_sim::check::{Checker, MonotoneClock, ObjectLedger};
 use bitsync_sim::event::{Backend, EventQueue};
+use bitsync_sim::fault::{FaultConfig, FaultPlane, LinkAction};
 use bitsync_sim::metrics::{Recorder, DEFAULT_BUCKETS};
 use bitsync_sim::rng::SimRng;
 use bitsync_sim::time::{SimDuration, SimTime};
@@ -95,6 +96,11 @@ pub struct WorldConfig {
     /// config on [`Backend::Wheel`] and [`Backend::Heap`] without touching
     /// the process-wide default.
     pub backend: Option<Backend>,
+    /// Fault-plane intensities ([`FaultConfig::off`] by default). The
+    /// plane draws from its own salted random stream, so an inactive
+    /// config leaves every other stream — and every golden snapshot —
+    /// untouched.
+    pub fault: FaultConfig,
 }
 
 impl Default for WorldConfig {
@@ -121,6 +127,7 @@ impl Default for WorldConfig {
             permanent_fraction: 0.37,
             laggard_fraction: 0.0,
             backend: None,
+            fault: FaultConfig::off(),
         }
     }
 }
@@ -142,6 +149,9 @@ pub struct NodeMeta {
     pub ibd_until: SimTime,
     /// Whether the node is currently online.
     pub online: bool,
+    /// Fault plane: the node accepts TCP connections but never processes
+    /// messages, wedging its peers' handshakes (persists across rejoins).
+    pub stalled: bool,
 }
 
 /// Sends later than this after first receipt are initial-block-download
@@ -193,12 +203,15 @@ enum Ev {
     ConnectTick(NodeId),
     /// Feeler-connection timer.
     Feeler(NodeId),
-    /// A dial resolved.
+    /// A dial resolved. `refused` distinguishes a fast refusal (RST/FIN —
+    /// somebody answered) from a blackholed timeout; the dial backoff
+    /// countermeasure treats them very differently.
     DialResult {
         initiator: NodeId,
         target: NetAddr,
         dir: Direction,
         ok: bool,
+        refused: bool,
     },
     /// Message arrival.
     Deliver {
@@ -218,18 +231,17 @@ enum Ev {
     RejoinNode(NodeId),
     /// A link failure drops an established connection.
     DropConn(NodeId, NodeId),
+    /// Fault plane: sever one random established connection, then
+    /// reschedule on the plane's exponential clock.
+    ConnFlap,
+    /// Fault plane: partition-flap schedule edge (`true` = apply a cut,
+    /// `false` = heal it).
+    PartitionFlap(bool),
+    /// Resilience sweep at a node: handshake timeouts + stale-tip check.
+    ResilienceTick(NodeId),
 }
 
-/// A deliberate bug the fuzz harness injects to prove the invariant layer
-/// catches it (see `bitsync-core`'s `experiments::fuzz`). Never enabled in
-/// real experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Fault {
-    /// Every relayed block/transaction message is delivered twice. The
-    /// duplicate delivery breaks conservation (deliveries ≤ sends per
-    /// object) and perturbs relay ordering at every receiver.
-    DuplicateDeliveries,
-}
+pub use bitsync_sim::fault::Fault;
 
 /// A churn event recorded for analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -274,6 +286,9 @@ pub struct World {
     /// Whether a pump event is already scheduled per node.
     pump_scheduled: Vec<bool>,
     connect_scheduled: Vec<bool>,
+    /// Whether a resilience-tick chain is live per node (survives
+    /// depart/rejoin cycles without double-scheduling).
+    resilience_scheduled: Vec<bool>,
     miner: Miner,
     txgen: TxGenerator,
     best_height: u64,
@@ -309,6 +324,8 @@ pub struct World {
     pub checker: Checker,
     /// Active fault injection, if any (see [`Fault`]).
     fault: Option<Fault>,
+    /// The live fault plane, present only when `cfg.fault` is active.
+    fault_plane: Option<FaultPlane>,
     /// Send/delivery conservation ledger (maintained only while the
     /// checker is enabled).
     ledger: ObjectLedger,
@@ -332,6 +349,23 @@ pub mod metric {
     pub const RELAY_DELAY: &str = "node.relay_delay_secs";
     /// Messages delivered over simulated links (counter).
     pub const MESSAGES_DELIVERED: &str = "node.messages_delivered";
+    /// Dials deferred by per-address backoff or discouragement (counter).
+    pub const DIAL_RETRIES: &str = "node.dial.retries";
+    /// Peers banned for crossing the misbehavior threshold (counter).
+    pub const PEER_BANNED: &str = "node.peer.banned";
+    /// Stale-tip episodes that triggered an extra outbound dial (counter).
+    pub const STALETIP_RESCUES: &str = "node.staletip.rescues";
+    /// Handshakes aborted by the resilience timeout (counter).
+    pub const HANDSHAKE_TIMEOUTS: &str = "node.handshake.timeouts";
+    /// Messages dropped by the fault plane (counter).
+    pub const FAULT_DROPPED: &str = "fault.messages_dropped";
+    /// Messages given extra delay or reorder jitter by the fault plane
+    /// (counter).
+    pub const FAULT_DELAYED: &str = "fault.messages_delayed";
+    /// Connections severed by fault-plane flaps (counter).
+    pub const FAULT_CONN_FLAPS: &str = "fault.connection_flaps";
+    /// Partition cuts applied by the fault-plane schedule (counter).
+    pub const FAULT_PARTITION_FLAPS: &str = "fault.partition_flaps";
 }
 
 /// Message-count buckets for [`metric::PUMP_FLUSHED_PER_ROUND`].
@@ -377,6 +411,12 @@ impl World {
             Some(backend) => EventQueue::with_backend(backend),
             None => EventQueue::new(),
         };
+        // The plane's stream is salted off the world seed inside
+        // `FaultPlane::new`, so an inactive config changes no draw anywhere.
+        let fault_plane = cfg
+            .fault
+            .is_active()
+            .then(|| FaultPlane::new(cfg.fault.clone(), cfg.seed));
         let mut world = World {
             queue,
             rng: rng.fork("world"),
@@ -391,6 +431,7 @@ impl World {
             reachable_addr_list: Vec::new(),
             pump_scheduled: Vec::new(),
             connect_scheduled: Vec::new(),
+            resilience_scheduled: Vec::new(),
             miner: Miner::new(cfg.seed ^ 0xb10c, 10_000),
             txgen: TxGenerator::new(cfg.seed ^ 0x7c5),
             best_height: 0,
@@ -406,6 +447,7 @@ impl World {
             tracer: Tracer::disabled(),
             checker: Checker::disabled(),
             fault: None,
+            fault_plane,
             ledger: ObjectLedger::new(),
             clock: MonotoneClock::new(),
             cfg,
@@ -453,6 +495,17 @@ impl World {
         if world.cfg.tx_rate > 0.0 {
             world.schedule_tx(SimTime::ZERO);
         }
+        // Fault-plane schedules.
+        world.schedule_conn_flap(SimTime::ZERO);
+        if let Some(pf) = world
+            .fault_plane
+            .as_ref()
+            .and_then(|p| p.cfg.partition_flap)
+        {
+            world
+                .queue
+                .schedule(SimTime::ZERO + pf.period, Ev::PartitionFlap(true));
+        }
         world
     }
 
@@ -496,11 +549,22 @@ impl World {
         node.cfg.compact_blocks = rng.chance(self.cfg.compact_fraction);
         node.tracer = self.tracer.clone();
         if malicious {
-            let size = FloodScale::paper().sample(rng);
-            node.flooder = Some(AddrFlooder::generate(size, rng));
+            let factor = self.cfg.fault.addr_flood_factor.max(1.0);
+            let size = ((FloodScale::paper().sample(rng) as f64 * factor) as usize).min(2_000_000);
+            let mut flooder = AddrFlooder::generate(size, rng);
+            // Amplified flooders violate the 1000-entry ADDR protocol cap,
+            // which misbehavior scoring (when enabled) punishes.
+            flooder.per_reply = (flooder.per_reply as f64 * factor) as usize;
+            node.flooder = Some(flooder);
         }
         self.nodes.push(Some(node));
         let laggard = rng.chance(self.cfg.laggard_fraction);
+        // Guarded draw: worlds without the stall channel take no extra
+        // randomness here (stream compatibility with older snapshots).
+        let stalled = self.cfg.fault.stall_fraction > 0.0
+            && reachable
+            && !malicious
+            && rng.chance(self.cfg.fault.stall_fraction);
         self.meta.push(NodeMeta {
             addr,
             asn,
@@ -509,6 +573,7 @@ impl World {
             malicious,
             ibd_until: if laggard { SimTime::MAX } else { SimTime::ZERO },
             online: true,
+            stalled,
         });
         self.addr_index.insert(addr, id);
         if reachable {
@@ -517,6 +582,7 @@ impl World {
         }
         self.pump_scheduled.push(false);
         self.connect_scheduled.push(false);
+        self.resilience_scheduled.push(false);
         id
     }
 
@@ -556,6 +622,19 @@ impl World {
         let jitter = SimDuration::from_millis(rng.below(1_000));
         self.queue.schedule(now + jitter, Ev::ConnectTick(id));
         self.connect_scheduled[id.0 as usize] = true;
+        // Resilience sweep (handshake timeouts, stale-tip detection). The
+        // stale-tip clock starts at boot, not at sim epoch.
+        let resilience = &self.cfg.node_cfg.resilience;
+        if resilience.needs_tick() {
+            let tick = resilience.tick_interval;
+            if !self.resilience_scheduled[id.0 as usize] {
+                self.resilience_scheduled[id.0 as usize] = true;
+                self.queue.schedule(now + tick, Ev::ResilienceTick(id));
+            }
+            if let Some(n) = self.nodes[id.0 as usize].as_mut() {
+                n.last_tip_change = now;
+            }
+        }
         let feeler_offset = SimDuration::from_millis(rng.below(120_000));
         self.queue.schedule(now + feeler_offset, Ev::Feeler(id));
         // Churn: plan the departure.
@@ -607,10 +686,26 @@ impl World {
         self.checker = checker;
     }
 
-    /// Arms a deliberate [`Fault`] for every subsequent event. Harness-only:
-    /// proves the invariant layer catches the bug class.
+    /// Arms a named [`Fault`]. The two bug injections rewire dispatch so
+    /// the invariant layer provably catches them; the benign variants arm
+    /// the fault plane with their canned preset (a no-op when the world
+    /// was already built with an active `cfg.fault` — construction-time
+    /// wiring such as stall assignment cannot be applied retroactively).
     pub fn inject_fault(&mut self, fault: Fault) {
-        self.fault = Some(fault);
+        match fault.plane_config() {
+            Some(preset) => {
+                if self.fault_plane.is_none() {
+                    self.cfg.fault = preset.clone();
+                    self.fault_plane = Some(FaultPlane::new(preset, self.cfg.seed));
+                    self.schedule_conn_flap(self.now());
+                    if let Some(pf) = self.fault_plane.as_ref().and_then(|p| p.cfg.partition_flap) {
+                        self.queue
+                            .schedule(self.now() + pf.period, Ev::PartitionFlap(true));
+                    }
+                }
+            }
+            None => self.fault = Some(fault),
+        }
     }
 
     /// Shared access to a node (if online).
@@ -794,6 +889,21 @@ impl World {
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        // TimeWarpDeliveries bug injection: relayable deliveries are
+        // handled with a timestamp skewed one second into the past. The
+        // queue itself stays monotone (identical across backends and
+        // thread counts), so the *only* harness that can catch this is the
+        // checker's MonotoneClock.
+        let now = if self.fault == Some(Fault::TimeWarpDeliveries)
+            && matches!(&ev, Ev::Deliver { msg, .. } if relay_key(msg).is_some())
+        {
+            SimTime::from_nanos(
+                now.as_nanos()
+                    .saturating_sub(SimDuration::from_secs(1).as_nanos()),
+            )
+        } else {
+            now
+        };
         let checking = self.checker.is_enabled();
         // Which node's tables this event can mutate; checked after the
         // handler so the checker sees the post-event state.
@@ -805,7 +915,9 @@ impl World {
                 format!("event at {now} after the loop reached {last}")
             });
             touched = match &ev {
-                Ev::Pump(id) | Ev::ConnectTick(id) | Ev::Feeler(id) => Some(*id),
+                Ev::Pump(id) | Ev::ConnectTick(id) | Ev::Feeler(id) | Ev::ResilienceTick(id) => {
+                    Some(*id)
+                }
                 Ev::DialResult { initiator, .. } => Some(*initiator),
                 Ev::Deliver { to, msg, .. } => {
                     // Conservation: a delivery of a relayable object must
@@ -834,7 +946,8 @@ impl World {
                 target,
                 dir,
                 ok,
-            } => self.on_dial_result(initiator, target, dir, ok, now),
+                refused,
+            } => self.on_dial_result(initiator, target, dir, ok, refused, now),
             Ev::Deliver { from, to, msg } => {
                 self.metrics.inc(metric::MESSAGES_DELIVERED, 1);
                 self.on_deliver(from, to, msg, now)
@@ -850,6 +963,9 @@ impl World {
                     self.disconnect_pair(a, b);
                 }
             }
+            Ev::ConnFlap => self.on_conn_flap(now),
+            Ev::PartitionFlap(cut) => self.on_partition_flap(cut, now),
+            Ev::ResilienceTick(id) => self.on_resilience_tick(id, now),
         }
         if checking {
             if let Some(id) = touched {
@@ -863,7 +979,10 @@ impl World {
     fn check_node_invariants(&self, id: NodeId, now: SimTime) {
         let Some(node) = self.node(id) else { return };
         let out = node.outbound_count();
-        let cap = node.cfg.max_outbound;
+        // The stale-tip countermeasure legitimately grants one slot above
+        // the configured maximum while active.
+        let cap =
+            node.cfg.max_outbound + usize::from(node.cfg.resilience.stale_tip_timeout.is_some());
         self.checker.check(out <= cap, now, "outdegree_cap", || {
             format!("node {} holds {out} outbound connections > cap {cap}", id.0)
         });
@@ -909,6 +1028,9 @@ impl World {
     fn on_pump(&mut self, id: NodeId, now: SimTime) {
         let slot = id.0 as usize;
         self.pump_scheduled[slot] = false;
+        if self.meta[slot].stalled {
+            return; // fault plane: the process is frozen, queues just grow
+        }
         let Some(node) = self.nodes[slot].as_mut() else {
             return;
         };
@@ -1003,11 +1125,28 @@ impl World {
                 continue;
             }
             if self.nodes.get(to_slot).is_some_and(|n| n.is_some()) {
+                // Fault plane: drop or jitter the link, before the
+                // conservation ledger sees the send (a dropped message was
+                // never sent as far as the invariants are concerned).
+                let mut fault_extra = SimDuration::ZERO;
+                if let Some(plane) = self.fault_plane.as_mut() {
+                    match plane.link_action() {
+                        LinkAction::Deliver => {}
+                        LinkAction::Drop => {
+                            self.metrics.inc(metric::FAULT_DROPPED, 1);
+                            continue;
+                        }
+                        LinkAction::Delay(d) => {
+                            self.metrics.inc(metric::FAULT_DELAYED, 1);
+                            fault_extra = d;
+                        }
+                    }
+                }
                 let to_asn = self.meta[to_slot].asn;
                 let delay =
                     self.latency
                         .message_delay(from_asn, to_asn, msg.wire_size(), &mut self.rng);
-                let at = send_end.max(now) + delay;
+                let at = send_end.max(now) + delay + fault_extra;
                 if self.checker.is_enabled() {
                     if let Some((hash, _)) = relay_key(&msg) {
                         self.ledger.record_send(hash.0);
@@ -1029,6 +1168,17 @@ impl World {
         for req in requests {
             match req {
                 NodeRequest::Disconnect(peer) => self.disconnect_pair(id, peer),
+                NodeRequest::Ban(peer) => {
+                    self.metrics.inc(metric::PEER_BANNED, 1);
+                    if self.tracer.is_enabled() {
+                        self.tracer.churn(trace::ChurnTrace {
+                            at: now,
+                            node: peer.0,
+                            kind: trace::ChurnKind::Ban { by: id.0 },
+                        });
+                    }
+                    self.disconnect_pair(id, peer);
+                }
             }
         }
         if more_work {
@@ -1044,12 +1194,17 @@ impl World {
     fn on_connect_tick(&mut self, id: NodeId, now: SimTime) {
         let slot = id.0 as usize;
         self.connect_scheduled[slot] = false;
+        if self.meta[slot].stalled {
+            return; // fault plane: frozen process opens no connections
+        }
         let Some(node) = self.nodes[slot].as_mut() else {
             return;
         };
         let interval = node.cfg.connect_loop_interval;
         if let Some(target) = node.begin_outbound_attempt(now) {
             self.resolve_dial(id, target, Direction::Outbound, now);
+        } else {
+            self.note_deferred_dial(id, trace::DialDir::Outbound, now);
         }
         // Re-tick only when the node is idle with unfilled slots: while a
         // dial is in flight its DialResult handler reschedules, so polling
@@ -1065,47 +1220,80 @@ impl World {
 
     fn on_feeler(&mut self, id: NodeId, now: SimTime) {
         let slot = id.0 as usize;
+        if self.meta[slot].stalled {
+            return; // fault plane: frozen process probes nothing
+        }
         let Some(node) = self.nodes[slot].as_mut() else {
             return;
         };
         let interval = node.cfg.feeler_interval;
         if let Some(target) = node.begin_feeler_attempt(now) {
             self.resolve_dial(id, target, Direction::Feeler, now);
+        } else {
+            self.note_deferred_dial(id, trace::DialDir::Feeler, now);
         }
         self.queue.schedule(now + interval, Ev::Feeler(id));
+    }
+
+    /// Counts and traces a dial the node deferred this tick because the
+    /// selected address was backed off or discouraged.
+    fn note_deferred_dial(&mut self, id: NodeId, dir: trace::DialDir, now: SimTime) {
+        let deferred = self.nodes[id.0 as usize]
+            .as_mut()
+            .and_then(|n| n.take_deferred_dial());
+        let Some(addr) = deferred else { return };
+        self.metrics.inc(metric::DIAL_RETRIES, 1);
+        if self.tracer.is_enabled() {
+            self.tracer.dial(trace::DialEvent {
+                at: now,
+                initiator: id.0,
+                target: addr.to_string(),
+                dir,
+                kind: trace::DialTargetKind::BackedOff,
+                ok: false,
+            });
+        }
     }
 
     /// Resolves a dial against ground truth and schedules the result.
     fn resolve_dial(&mut self, initiator: NodeId, target: NetAddr, dir: Direction, now: SimTime) {
         let from_asn = self.meta[initiator.0 as usize].asn;
-        let (ok, delay) = match self.addr_index.get(&target) {
+        let initiator_addr = self.meta[initiator.0 as usize].addr;
+        let (ok, delay, refused) = match self.addr_index.get(&target) {
             Some(&tid) => {
-                let online_accepting = self
-                    .nodes
-                    .get(tid.0 as usize)
-                    .and_then(|n| n.as_ref())
-                    .is_some_and(|n| n.accepts_inbound());
+                let target_node = self.nodes.get(tid.0 as usize).and_then(|n| n.as_ref());
+                let online_accepting = target_node.is_some_and(|n| n.accepts_inbound());
+                // A discouraged initiator gets an immediate RST (Core
+                // refuses inbound connections from banned addresses).
+                let discouraging =
+                    target_node.is_some_and(|n| n.is_discouraged(&initiator_addr, now));
                 let to_asn = self.meta[tid.0 as usize].asn;
                 if self.partition_blocks(from_asn, to_asn) {
-                    (false, self.latency.connect_timeout())
+                    (false, self.latency.connect_timeout(), false)
+                } else if online_accepting && discouraging {
+                    let d = self
+                        .latency
+                        .handshake_delay(from_asn, to_asn, &mut self.rng);
+                    (false, d, true)
                 } else if online_accepting {
                     (
                         true,
                         self.latency
                             .handshake_delay(from_asn, to_asn, &mut self.rng),
+                        false,
                     )
                 } else {
-                    // Offline node or full slots: RST/timeout.
-                    (false, self.latency.connect_timeout())
+                    // Offline node or full slots: timeout.
+                    (false, self.latency.connect_timeout(), false)
                 }
             }
             None => match self.phantoms.get(&target) {
                 Some((PhantomKind::Responsive, asn)) => {
                     // Fast FIN refusal: one RTT.
                     let d = self.latency.handshake_delay(from_asn, *asn, &mut self.rng);
-                    (false, d)
+                    (false, d, true)
                 }
-                _ => (false, self.latency.connect_timeout()),
+                _ => (false, self.latency.connect_timeout(), false),
             },
         };
         if self.tracer.is_enabled() {
@@ -1143,6 +1331,7 @@ impl World {
                 target,
                 dir,
                 ok,
+                refused,
             },
         );
     }
@@ -1153,6 +1342,7 @@ impl World {
         target: NetAddr,
         dir: Direction,
         ok: bool,
+        refused: bool,
         now: SimTime,
     ) {
         let islot = initiator.0 as usize;
@@ -1161,7 +1351,7 @@ impl World {
         }
         if !ok {
             if let Some(n) = self.nodes[islot].as_mut() {
-                n.on_attempt_failed(target, now);
+                n.on_attempt_failed(target, refused, now);
             }
             self.schedule_connect(initiator, SimDuration::from_millis(1));
             return;
@@ -1169,7 +1359,7 @@ impl World {
         // Target may have gone offline or filled up during the handshake.
         let Some(&tid) = self.addr_index.get(&target) else {
             if let Some(n) = self.nodes[islot].as_mut() {
-                n.on_attempt_failed(target, now);
+                n.on_attempt_failed(target, false, now);
             }
             self.schedule_connect(initiator, SimDuration::from_millis(1));
             return;
@@ -1181,7 +1371,7 @@ impl World {
             .is_some_and(|n| n.accepts_inbound());
         if !accepting || tid == initiator {
             if let Some(n) = self.nodes[islot].as_mut() {
-                n.on_attempt_failed(target, now);
+                n.on_attempt_failed(target, false, now);
             }
             self.schedule_connect(initiator, SimDuration::from_millis(1));
             return;
@@ -1208,6 +1398,127 @@ impl World {
             let life = self.rng.exp_duration(mean);
             self.queue.schedule(now + life, Ev::DropConn(a, b));
         }
+    }
+
+    /// Schedules the next fault-plane connection flap, if configured.
+    fn schedule_conn_flap(&mut self, now: SimTime) {
+        let Some(plane) = self.fault_plane.as_mut() else {
+            return;
+        };
+        let Some(interval) = plane.cfg.connection_flap_interval else {
+            return;
+        };
+        let gap = plane.rng().exp_duration(interval);
+        self.queue.schedule(now + gap, Ev::ConnFlap);
+    }
+
+    /// Fault plane: sever one random established connection.
+    fn on_conn_flap(&mut self, now: SimTime) {
+        if self.fault_plane.is_none() {
+            return;
+        }
+        // Candidates in deterministic id order: online nodes with peers.
+        let candidates: Vec<NodeId> = self
+            .online_ids()
+            .into_iter()
+            .filter(|id| self.node(*id).is_some_and(|n| !n.peers.is_empty()))
+            .collect();
+        if !candidates.is_empty() {
+            let plane = self.fault_plane.as_mut().expect("plane checked above");
+            let a = candidates[plane.rng().index(candidates.len())];
+            let peers: Vec<NodeId> = self
+                .node(a)
+                .map(|n| n.peers.keys().copied().collect())
+                .unwrap_or_default();
+            if !peers.is_empty() {
+                let plane = self.fault_plane.as_mut().expect("plane checked above");
+                let b = peers[plane.rng().index(peers.len())];
+                self.metrics.inc(metric::FAULT_CONN_FLAPS, 1);
+                self.disconnect_pair(a, b);
+            }
+        }
+        self.schedule_conn_flap(now);
+    }
+
+    /// Fault plane: partition-flap schedule edge. A cut hijacks a random
+    /// fraction of the ASes hosting online reachable nodes; the matching
+    /// heal lifts it and schedules the next cut.
+    fn on_partition_flap(&mut self, cut: bool, now: SimTime) {
+        let Some(pf) = self.fault_plane.as_ref().and_then(|p| p.cfg.partition_flap) else {
+            return;
+        };
+        if cut {
+            let mut asns: Vec<u32> = self
+                .online_ids()
+                .into_iter()
+                .filter(|id| self.meta[id.0 as usize].reachable)
+                .map(|id| self.meta[id.0 as usize].asn)
+                .collect();
+            asns.sort_unstable();
+            asns.dedup();
+            if asns.len() >= 2 {
+                let k =
+                    ((asns.len() as f64 * pf.fraction).round() as usize).clamp(1, asns.len() - 1);
+                let plane = self.fault_plane.as_mut().expect("plane checked above");
+                let picks = plane.rng().sample_indices(asns.len(), k);
+                let cut_set: Vec<u32> = picks.into_iter().map(|i| asns[i]).collect();
+                self.metrics.inc(metric::FAULT_PARTITION_FLAPS, 1);
+                self.apply_partition(cut_set);
+            }
+            self.queue
+                .schedule(now + pf.duration, Ev::PartitionFlap(false));
+        } else {
+            self.lift_partition();
+            let gap = pf.period.saturating_sub(pf.duration);
+            let gap = if gap == SimDuration::ZERO {
+                SimDuration::from_secs(1)
+            } else {
+                gap
+            };
+            self.queue.schedule(now + gap, Ev::PartitionFlap(true));
+        }
+    }
+
+    /// Resilience sweep at one node: abort handshakes stuck past the
+    /// timeout, detect a stale tip (granting an extra outbound dial), and
+    /// reschedule.
+    fn on_resilience_tick(&mut self, id: NodeId, now: SimTime) {
+        let slot = id.0 as usize;
+        let Some(node) = self.nodes[slot].as_ref() else {
+            self.resilience_scheduled[slot] = false;
+            return; // offline; a rejoin reschedules via boot_node
+        };
+        let res = node.cfg.resilience.clone();
+        if let Some(timeout) = res.handshake_timeout {
+            let stuck: Vec<NodeId> = node
+                .peers
+                .iter()
+                .filter(|(_, p)| !p.is_ready() && now.saturating_since(p.connected_at) > timeout)
+                .map(|(pid, _)| *pid)
+                .collect();
+            for peer in stuck {
+                self.metrics.inc(metric::HANDSHAKE_TIMEOUTS, 1);
+                self.disconnect_pair(id, peer);
+            }
+        }
+        if let Some(timeout) = res.stale_tip_timeout {
+            let rescued = self.nodes[slot]
+                .as_mut()
+                .is_some_and(|n| n.check_stale_tip(now, timeout));
+            if rescued {
+                self.metrics.inc(metric::STALETIP_RESCUES, 1);
+                if self.tracer.is_enabled() {
+                    self.tracer.churn(trace::ChurnTrace {
+                        at: now,
+                        node: id.0,
+                        kind: trace::ChurnKind::StaleTipRescue,
+                    });
+                }
+                self.schedule_connect(id, SimDuration::from_millis(1));
+            }
+        }
+        self.queue
+            .schedule(now + res.tick_interval, Ev::ResilienceTick(id));
     }
 
     /// Directly establishes a connection from `a` (outbound side) to `b`,
@@ -1299,11 +1610,16 @@ impl World {
 
     fn on_mine(&mut self, now: SimTime) {
         // Pick a random online synced reachable node as the block producer.
+        // Stalled (frozen-process) nodes are excluded: they could bump
+        // `best_height` but never pump the announcement out, wedging the
+        // whole network behind a private chain.
         let candidates: Vec<NodeId> = self
             .online_ids()
             .into_iter()
             .filter(|id| {
-                self.meta[id.0 as usize].reachable
+                let m = &self.meta[id.0 as usize];
+                m.reachable
+                    && !m.stalled
                     && self
                         .node(*id)
                         .is_some_and(|n| n.chain.height() == self.best_height)

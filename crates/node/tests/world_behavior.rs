@@ -271,6 +271,43 @@ fn partition_severs_and_blocks_cross_traffic() {
 }
 
 #[test]
+fn depart_with_pump_in_flight_does_not_wedge_scheduling() {
+    use bitsync_node::NodeId;
+
+    // Regression guard for the Pump/DropConn scheduling handshake: a
+    // churn departure can race a Pump event already in the queue. The
+    // handler must clear `pump_scheduled` BEFORE noticing the node is
+    // gone — otherwise the slot's flag stays latched and the node never
+    // pumps again after a rejoin (same contract for ConnectTick). This
+    // pins the asymmetry as correct-by-test.
+    let mut cfg = base_cfg(14);
+    cfg.block_interval = Some(SimDuration::from_secs(120));
+    let mut world = World::new(cfg);
+    world.run_until(SimTime::from_secs(600));
+    let id = NodeId(0);
+    assert!(world.node(id).unwrap().outbound_count() > 0);
+
+    // Depart mid-activity (pumps and connect ticks are in flight), stay
+    // down long enough for the stale events to fire on the empty slot.
+    world.force_depart(id);
+    world.run_for(SimDuration::from_secs(30));
+    world.force_rejoin(id);
+    world.run_for(SimDuration::from_secs(300));
+
+    // A wedged pump chain would leave the node unable to complete any
+    // handshake (VERSION never flushes) or relay anything.
+    let n = world.node(id).unwrap();
+    assert!(
+        n.outbound_count() > 0,
+        "no outbound connections after rejoin: scheduling wedged"
+    );
+    assert!(
+        n.peers.values().any(|p| p.is_ready()),
+        "no completed handshakes after rejoin: pump chain dead"
+    );
+}
+
+#[test]
 fn rejoining_node_restores_its_addrman() {
     use bitsync_node::NodeId;
 

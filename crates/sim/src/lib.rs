@@ -38,6 +38,7 @@
 
 pub mod check;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod time;

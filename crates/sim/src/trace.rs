@@ -176,6 +176,9 @@ pub enum DialTargetKind {
     PhantomSilent,
     /// Not present in any ground-truth table (stale / churned away).
     Unknown,
+    /// The dial never left the node: the selected address was inside its
+    /// backoff or discouragement window and the attempt was deferred.
+    BackedOff,
 }
 
 impl DialTargetKind {
@@ -186,6 +189,7 @@ impl DialTargetKind {
             DialTargetKind::PhantomResponsive => "phantom_responsive",
             DialTargetKind::PhantomSilent => "phantom_silent",
             DialTargetKind::Unknown => "unknown",
+            DialTargetKind::BackedOff => "backed_off",
         }
     }
 }
@@ -304,6 +308,14 @@ pub enum ChurnKind {
     Arrive,
     /// A previously departed node came back online.
     Rejoin,
+    /// The node was disconnected for crossing the misbehavior threshold.
+    Ban {
+        /// The node that applied the ban.
+        by: u32,
+    },
+    /// The node's stale-tip countermeasure fired, granting an extra
+    /// outbound dial.
+    StaleTipRescue,
 }
 
 /// One churn arrival or departure.
@@ -329,6 +341,11 @@ impl ChurnTrace {
             }
             ChurnKind::Arrive => v.set("kind", "arrive"),
             ChurnKind::Rejoin => v.set("kind", "rejoin"),
+            ChurnKind::Ban { by } => {
+                v.set("kind", "ban");
+                v.set("by", by);
+            }
+            ChurnKind::StaleTipRescue => v.set("kind", "stale_tip_rescue"),
         }
         v
     }

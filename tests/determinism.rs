@@ -9,7 +9,7 @@ use bitsync_json::Value;
 use std::sync::OnceLock;
 
 /// Quick-scale experiments that finish fast enough for a test.
-const TARGETS: &[&str] = &["rounds", "fig6", "fig7", "relay"];
+const TARGETS: &[&str] = &["rounds", "fig6", "fig7", "relay", "resilience"];
 
 struct Report {
     name: String,

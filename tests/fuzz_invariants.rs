@@ -86,6 +86,48 @@ fn injected_duplicate_delivery_fault_is_caught_shrunk_and_reproduced() {
 }
 
 #[test]
+fn injected_time_warp_fault_is_caught_by_the_monotone_clock() {
+    let mut scenario = tiny();
+    scenario.fault = Some(Fault::TimeWarpDeliveries);
+    let verdict = check_scenario(&scenario);
+    assert!(!verdict.passed(), "planted time warp went undetected");
+    assert!(
+        verdict.failures.iter().any(|f| f.contains("time_monotone")),
+        "expected a monotonicity violation, got: {:?}",
+        verdict.failures
+    );
+}
+
+#[test]
+fn benign_fault_plane_variants_pass_every_harness() {
+    for fault in Fault::ALL {
+        if fault.violates_invariants() {
+            continue;
+        }
+        let mut scenario = tiny();
+        scenario.fault = Some(fault);
+        let verdict = check_scenario(&scenario);
+        assert!(
+            verdict.passed(),
+            "{}: benign fault failed the harness: {:?}",
+            fault.name(),
+            verdict.failures
+        );
+    }
+}
+
+#[test]
+fn every_fault_variant_survives_the_repro_file_round_trip() {
+    for fault in Fault::ALL {
+        let mut scenario = tiny();
+        scenario.fault = Some(fault);
+        let parsed = Scenario::from_json_str(&scenario.to_json().to_string_pretty())
+            .unwrap_or_else(|e| panic!("{}: {e}", fault.name()));
+        assert_eq!(parsed, scenario, "{}", fault.name());
+    }
+}
+
+#[test]
 fn small_campaign_is_deterministic_and_passes() {
     let cfg = FuzzConfig {
         seed: 5,

@@ -79,6 +79,7 @@ golden! {
     golden_resync => "resync",
     golden_partition => "partition",
     golden_ablation => "ablation",
+    golden_resilience => "resilience",
 }
 
 /// The golden! list above must cover exactly the registry.
@@ -96,6 +97,7 @@ fn golden_test_list_covers_registry() {
         "resync",
         "partition",
         "ablation",
+        "resilience",
     ];
     listed.sort_unstable();
     assert_eq!(listed, expected, "golden! list out of sync with REGISTRY");

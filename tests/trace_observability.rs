@@ -12,7 +12,7 @@ use bitsync_core::sim::trace::{RelayEvent, RelayPhase, TraceLog, Tracer};
 
 /// Experiments with traced internals (world churn/dials, relay hops,
 /// census crawls).
-const TARGETS: &[&str] = &["fig1", "fig6", "fig7", "relay", "census"];
+const TARGETS: &[&str] = &["fig1", "fig6", "fig7", "relay", "census", "resilience"];
 
 fn traced_run(threads: usize) -> Vec<(String, Option<TraceLog>)> {
     let runner = ExperimentRunner::new(RunnerConfig {
