@@ -7,7 +7,8 @@
 //!       [--profile PATH] [--only NAME[,NAME...]] <target>...
 //!
 //! targets: all, or any experiment name from `repro --list`
-//!   (rounds, fig6, fig7, relay, census, fig1, resync, partition, ablation);
+//!   (rounds, fig6, fig7, relay, census, fig1, resync, partition, ablation,
+//!   resilience, forkstress);
 //!   `--only census,relay` is equivalent to listing those targets
 //! ```
 //!
@@ -33,10 +34,12 @@
 //!
 //! `--fault` arms one of the named [`Fault`] variants in every sampled
 //! scenario: the planted bugs (`duplicate-deliveries`,
-//! `time-warp-deliveries`) must make the campaign fail via the invariant
-//! checker, while the benign fault-plane variants (`drop-messages`,
-//! `delay-messages`, `reorder-messages`, `stall-peers`, `addr-flood`,
-//! `connection-flaps`, `partition-flaps`) must pass all four harnesses.
+//! `time-warp-deliveries`, `ban-reorg-peers`) must make the campaign fail
+//! via the invariant checker, while the benign fault-plane variants
+//! (`drop-messages`, `delay-messages`, `reorder-messages`, `stall-peers`,
+//! `addr-flood`, `connection-flaps`, `partition-flaps`,
+//! `competing-miners`, `solo-miners`, `reorg-storms`) must pass all four
+//! harnesses and reconverge onto a single chain once faults end.
 
 use bitsync_core::experiments::fuzz::{self, FuzzConfig};
 use bitsync_core::experiments::{experiment_seed, ExperimentRunner, RunnerConfig, Scale, REGISTRY};
@@ -448,7 +451,7 @@ fn usage(err: &str) -> ! {
         "usage: repro [--list] [--seed N] [--scale quick|scaled|paper|full] [--threads N] \
          [--json DIR] [--metrics] [--trace DIR] [--trace-cap N] [--profile PATH] \
          [--only NAME[,NAME...]] \
-         <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition|resilience>...\n\
+         <all|fig1|census|fig6|fig7|relay|resync|rounds|ablation|partition|resilience|forkstress>...\n\
    or: repro fuzz [--seed N] [--runs K] [--max-steps M] [--out PATH] \
          [--fault NAME] [--replay FILE]"
     );

@@ -32,7 +32,7 @@ pub mod state;
 
 pub use mempool::Mempool;
 pub use miner::{Miner, TxGenerator, TARGET_BLOCK_INTERVAL};
-pub use state::{ChainError, ChainState};
+pub use state::{ChainError, ChainState, ReorgInfo};
 
 #[cfg(test)]
 mod proptests {
@@ -81,6 +81,73 @@ mod proptests {
                 let id = t.txid();
                 prop_assert_eq!(pool.contains(&id), !confirmed.contains(&id));
             }
+        }
+
+        /// Any insertion order of a random block tree agrees with a naive
+        /// first-seen best-tip oracle: tip, height, and the `by_height`
+        /// index (checked as `hash_at_height` along the winning tip's
+        /// ancestor path, including after deep reorgs).
+        #[test]
+        fn block_tree_matches_naive_oracle(n in 1usize..40, seed in any::<u64>()) {
+            use bitsync_protocol::hash::Hash256;
+            use std::collections::HashMap;
+            let mut rng = SimRng::seed_from(seed);
+            let mut chain = ChainState::with_genesis();
+            let genesis = chain.genesis_hash();
+            // A random tree: each block's parent is any earlier block.
+            let mut blocks: Vec<Block> = Vec::new();
+            let mut hashes = vec![genesis];
+            for i in 0..n {
+                let parent = hashes[rng.index(hashes.len())];
+                let b = Block::assemble(2, parent, i as u32, rng.next_u64() as u32,
+                                        vec![Transaction::coinbase(i as u64, 50)]);
+                hashes.push(b.block_hash());
+                blocks.push(b);
+            }
+            // Connect in repeated shuffled passes, deferring orphans until
+            // their parent lands, so deep out-of-order reorgs happen.
+            let mut heights: HashMap<Hash256, u64> = HashMap::new();
+            heights.insert(genesis, 0);
+            let mut parent_of: HashMap<Hash256, Hash256> = HashMap::new();
+            let mut oracle_tip = genesis;
+            let mut pending = blocks;
+            while !pending.is_empty() {
+                for i in (1..pending.len()).rev() {
+                    let j = rng.index(i + 1);
+                    pending.swap(i, j);
+                }
+                let mut deferred = Vec::new();
+                for b in pending {
+                    let hash = b.block_hash();
+                    match chain.connect_block(&b) {
+                        Ok(info) => {
+                            let height = heights[&b.header.prev_blockhash] + 1;
+                            heights.insert(hash, height);
+                            parent_of.insert(hash, b.header.prev_blockhash);
+                            if height > heights[&oracle_tip] {
+                                prop_assert!(info.is_some(), "oracle advanced, chain did not");
+                                oracle_tip = hash;
+                            } else {
+                                prop_assert!(info.is_none(), "first-seen tie-break violated");
+                            }
+                        }
+                        Err(ChainError::UnknownParent(_)) => deferred.push(b),
+                        Err(e) => prop_assert!(false, "unexpected error {}", e),
+                    }
+                }
+                pending = deferred;
+            }
+            prop_assert_eq!(chain.tip_hash(), oracle_tip);
+            prop_assert_eq!(chain.height(), heights[&oracle_tip]);
+            // The active-chain index is exactly the tip's ancestor path.
+            let mut cur = oracle_tip;
+            loop {
+                let h = heights[&cur];
+                prop_assert_eq!(chain.hash_at_height(h), Some(cur));
+                if h == 0 { break; }
+                cur = parent_of[&cur];
+            }
+            prop_assert!(chain.hash_at_height(chain.height() + 1).is_none());
         }
 
         /// A mined block always reconstructs completely from a mempool that

@@ -31,6 +31,37 @@ impl fmt::Display for ChainError {
 
 impl std::error::Error for ChainError {}
 
+/// A best-tip change: the active chain switched from `old_tip` to
+/// `new_tip`. `depth() == 0` is a plain extension (the new tip builds on
+/// the old one); `depth() > 0` is a reorganization that disconnected
+/// `depth()` blocks of the previously active chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReorgInfo {
+    /// The previously active tip.
+    pub old_tip: Hash256,
+    /// The newly active tip.
+    pub new_tip: Hash256,
+    /// Height of the previously active tip.
+    pub old_height: u64,
+    /// Height of the newly active tip.
+    pub new_height: u64,
+    /// Height of the last block common to both chains (the fork point).
+    pub fork_height: u64,
+}
+
+impl ReorgInfo {
+    /// Blocks disconnected from the old active chain.
+    pub fn depth(&self) -> u64 {
+        self.old_height - self.fork_height
+    }
+
+    /// Whether any active block was disconnected (a true reorg, not a
+    /// plain tip extension).
+    pub fn is_reorg(&self) -> bool {
+        self.depth() > 0
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Entry {
     header: BlockHeader,
@@ -142,12 +173,16 @@ impl ChainState {
         self.by_height.get(height as usize).copied()
     }
 
-    /// Connects a header without a body (headers-first sync).
+    /// Connects a header without a body (headers-first sync), returning
+    /// the tip change it caused, if any.
     ///
     /// # Errors
     ///
     /// Fails on duplicates and unknown parents.
-    pub fn connect_header(&mut self, header: &BlockHeader) -> Result<(), ChainError> {
+    pub fn connect_header(
+        &mut self,
+        header: &BlockHeader,
+    ) -> Result<Option<ReorgInfo>, ChainError> {
         let hash = header.block_hash();
         if self.entries.contains_key(&hash) {
             return Err(ChainError::Duplicate(hash));
@@ -164,16 +199,16 @@ impl ChainState {
                 height,
             },
         );
-        self.maybe_reorg(hash, height);
-        Ok(())
+        Ok(self.maybe_reorg(hash, height))
     }
 
-    /// Connects a full block, verifying its Merkle commitment.
+    /// Connects a full block, verifying its Merkle commitment, returning
+    /// the tip change it caused, if any.
     ///
     /// # Errors
     ///
     /// Fails on duplicates, unknown parents, and Merkle mismatches.
-    pub fn connect_block(&mut self, block: &Block) -> Result<(), ChainError> {
+    pub fn connect_block(&mut self, block: &Block) -> Result<Option<ReorgInfo>, ChainError> {
         let hash = block.block_hash();
         if !block.check_merkle_root() {
             return Err(ChainError::BadMerkleRoot(hash));
@@ -181,33 +216,59 @@ impl ChainState {
         if self.bodies.contains_key(&hash) {
             return Err(ChainError::Duplicate(hash));
         }
-        if !self.entries.contains_key(&hash) {
-            self.connect_header(&block.header)?;
-        }
+        let reorg = if !self.entries.contains_key(&hash) {
+            self.connect_header(&block.header)?
+        } else {
+            None
+        };
         self.bodies.insert(hash, block.clone());
-        Ok(())
+        Ok(reorg)
     }
 
-    fn maybe_reorg(&mut self, hash: Hash256, height: u64) {
-        if height <= self.entries[&self.tip].height {
-            return;
+    fn maybe_reorg(&mut self, hash: Hash256, height: u64) -> Option<ReorgInfo> {
+        let old_tip = self.tip;
+        let old_height = self.entries[&old_tip].height;
+        if height <= old_height {
+            return None; // first-seen wins ties: strictly higher only
         }
         self.tip = hash;
-        // Rebuild the by_height index along the new best path.
+        // Rebuild the by_height index along the new best path, noting where
+        // it rejoins the previously active chain (the fork point).
         self.by_height.resize(height as usize + 1, Hash256::ZERO);
         let mut cur = hash;
-        loop {
+        let fork_height = loop {
             let e = &self.entries[&cur];
             let h = e.height as usize;
             if self.by_height[h] == cur {
-                break; // joined the old active chain
+                break h as u64; // joined the old active chain
             }
             self.by_height[h] = cur;
             if h == 0 {
-                break;
+                break 0;
             }
             cur = e.header.prev_blockhash;
+        };
+        Some(ReorgInfo {
+            old_tip,
+            new_tip: hash,
+            old_height,
+            new_height: height,
+            fork_height,
+        })
+    }
+
+    /// The first locator hash found on the active chain — the highest
+    /// block the locator's owner and this chain agree on. `None` when no
+    /// locator entry is active here (a foreign genesis).
+    pub fn common_ancestor(&self, locator: &[Hash256]) -> Option<Hash256> {
+        for l in locator {
+            if let Some(h) = self.height_of(l) {
+                if self.by_height.get(h as usize) == Some(l) {
+                    return Some(*l);
+                }
+            }
         }
+        None
     }
 
     /// Builds a block locator: tip, then exponentially sparser ancestors,
@@ -231,15 +292,10 @@ impl ChainState {
     /// Serves headers after the first locator hash found on the active
     /// chain, up to `max` headers — the `GETHEADERS` → `HEADERS` response.
     pub fn headers_after(&self, locator: &[Hash256], max: usize) -> Vec<BlockHeader> {
-        let mut start_height = 0u64;
-        for l in locator {
-            if let Some(h) = self.height_of(l) {
-                if self.by_height.get(h as usize) == Some(l) {
-                    start_height = h;
-                    break;
-                }
-            }
-        }
+        let start_height = self
+            .common_ancestor(locator)
+            .and_then(|a| self.height_of(&a))
+            .unwrap_or(0);
         let mut out = Vec::new();
         for h in (start_height + 1)..=self.height() {
             if out.len() >= max {
@@ -377,14 +433,80 @@ mod tests {
             3,
             vec![Transaction::coinbase(93, 50)],
         );
-        c.connect_block(&f1).unwrap();
+        assert_eq!(c.connect_block(&f1).unwrap(), None);
         assert_eq!(c.tip_hash(), main[1].block_hash()); // still main
-        c.connect_block(&f2).unwrap();
+        assert_eq!(c.connect_block(&f2).unwrap(), None);
         assert_eq!(c.tip_hash(), main[1].block_hash()); // tie: first seen wins
-        c.connect_block(&f3).unwrap();
+        let reorg = c.connect_block(&f3).unwrap().expect("tip switched");
         assert_eq!(c.tip_hash(), f3.block_hash()); // reorged
         assert_eq!(c.hash_at_height(1), Some(f1.block_hash()));
         assert_eq!(c.hash_at_height(2), Some(f2.block_hash()));
+        assert_eq!(reorg.old_tip, main[1].block_hash());
+        assert_eq!(reorg.new_tip, f3.block_hash());
+        assert_eq!(reorg.old_height, 2);
+        assert_eq!(reorg.new_height, 3);
+        assert_eq!(reorg.fork_height, 0); // forked at genesis
+        assert_eq!(reorg.depth(), 2);
+        assert!(reorg.is_reorg());
+    }
+
+    #[test]
+    fn plain_extension_reports_depth_zero() {
+        let mut c = ChainState::with_genesis();
+        let b = Block::assemble(2, c.tip_hash(), 1, 0, vec![Transaction::coinbase(1, 50)]);
+        let info = c.connect_block(&b).unwrap().expect("tip advanced");
+        assert_eq!(info.fork_height, 0);
+        assert_eq!(info.old_height, 0);
+        assert_eq!(info.new_height, 1);
+        assert_eq!(info.depth(), 0);
+        assert!(!info.is_reorg());
+    }
+
+    #[test]
+    fn mid_chain_fork_reports_fork_point() {
+        let mut c = ChainState::with_genesis();
+        let main = extend(&mut c, 4, 1);
+        // Fork off main[1] (height 2) with 3 blocks, reaching height 5.
+        let mut prev = main[1].block_hash();
+        let mut last_info = None;
+        for i in 0..3u64 {
+            let b = Block::assemble(
+                2,
+                prev,
+                (7000 + i) as u32,
+                i as u32,
+                vec![Transaction::coinbase(7_000_000 + i, 50)],
+            );
+            prev = b.block_hash();
+            last_info = c.connect_block(&b).unwrap();
+        }
+        let reorg = last_info.expect("height 5 beats height 4");
+        assert_eq!(reorg.old_tip, main[3].block_hash());
+        assert_eq!(reorg.fork_height, 2);
+        assert_eq!(reorg.depth(), 2);
+        assert_eq!(c.hash_at_height(2), Some(main[1].block_hash()));
+        assert_eq!(c.height(), 5);
+    }
+
+    #[test]
+    fn common_ancestor_finds_shared_prefix() {
+        let mut donor = ChainState::with_genesis();
+        let blocks = extend(&mut donor, 6, 1);
+        let mut receiver = ChainState::with_genesis();
+        for b in blocks.iter().take(3) {
+            receiver.connect_block(b).unwrap();
+        }
+        // Receiver then forks onto a private chain of its own.
+        extend(&mut receiver, 2, 9);
+        assert_eq!(
+            donor.common_ancestor(&receiver.locator()),
+            Some(blocks[2].block_hash())
+        );
+        assert_eq!(
+            donor.common_ancestor(&[Hash256::hash_of(b"alien")]),
+            None,
+            "foreign locator shares nothing"
+        );
     }
 
     #[test]

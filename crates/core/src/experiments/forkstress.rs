@@ -1,0 +1,388 @@
+//! The fork-stress experiment: chain-layer fault intensity × resilience.
+//!
+//! Where [`resilience`](super::resilience) stresses the network layer
+//! (drops, delays, floods), this sweep stresses the *chain* layer with the
+//! reorg-storm preset ([`Fault::reorg_storm_config`]): competing miners
+//! producing sibling blocks, stale solo producers extending private
+//! chains, and partition-then-heal schedules timed to force reorg storms
+//! when the halves reunite. Per `(intensity, resilience)` cell it measures
+//! the honest synchronized fraction during the storm, then *ends* the
+//! faults ([`World::end_faults`]) and clocks how long the surviving
+//! population takes to collapse back onto a single chain
+//! ([`World::check_convergence`]) — alongside the maximum observed fork
+//! depth and the reorg/fault-block counters. The zero-intensity
+//! resilience-off cell is the §IV baseline the report's sync deltas are
+//! taken against.
+
+use crate::experiments::registry::{Experiment, Scale};
+use bitsync_analysis::Summary;
+use bitsync_json::{ToJson, Value};
+use bitsync_node::config::{NodeConfig, ResilienceConfig};
+use bitsync_node::world::{metric, World, WorldConfig};
+use bitsync_sim::fault::{Fault, FaultConfig};
+use bitsync_sim::metrics::Recorder;
+use bitsync_sim::time::{SimDuration, SimTime};
+use bitsync_sim::trace::Tracer;
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct ForkStressConfig {
+    /// Random seed (identical across cells).
+    pub seed: u64,
+    /// Reachable network size.
+    pub n_reachable: usize,
+    /// Unreachable-but-responsive full nodes.
+    pub n_unreachable_full: usize,
+    /// Phantom (dead) addresses seeding dial failures.
+    pub n_phantoms: usize,
+    /// The full-intensity chain fault plane; each sweep point runs
+    /// `base_fault.scaled(intensity)`.
+    pub base_fault: FaultConfig,
+    /// Sweep points, each in `0..=1`; include 0.0 for the baseline.
+    pub intensities: Vec<f64>,
+    /// Warm-up before measurement starts.
+    pub warmup: SimDuration,
+    /// Measured storm duration.
+    pub duration: SimDuration,
+    /// Sampling interval for the sync time series.
+    pub sample_every: SimDuration,
+    /// How long after `end_faults` the population gets to converge.
+    pub convergence_grace: SimDuration,
+}
+
+impl ForkStressConfig {
+    /// Default scaled scenario. No churn and no ADDR flooders: the sweep
+    /// isolates the chain-layer fault domain.
+    pub fn scaled(seed: u64) -> Self {
+        ForkStressConfig {
+            seed,
+            n_reachable: 60,
+            n_unreachable_full: 12,
+            n_phantoms: 800,
+            base_fault: Fault::reorg_storm_config(),
+            intensities: vec![0.0, 0.5, 1.0],
+            warmup: SimDuration::from_mins(30),
+            duration: SimDuration::from_hours(4),
+            sample_every: SimDuration::from_mins(15),
+            convergence_grace: SimDuration::from_hours(2),
+        }
+    }
+
+    /// Fast test variant.
+    pub fn quick(seed: u64) -> Self {
+        ForkStressConfig {
+            n_reachable: 24,
+            n_unreachable_full: 4,
+            n_phantoms: 200,
+            intensities: vec![0.0, 1.0],
+            warmup: SimDuration::from_mins(20),
+            duration: SimDuration::from_mins(90),
+            convergence_grace: SimDuration::from_hours(1),
+            ..Self::scaled(seed)
+        }
+    }
+}
+
+/// One `(intensity, resilience)` cell's measured outcomes.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Fault-plane intensity in `0..=1`.
+    pub intensity: f64,
+    /// Whether the resilience layer was enabled.
+    pub resilience: bool,
+    /// Mean synchronization fraction over honest online reachable nodes
+    /// during the storm.
+    pub mean_sync_fraction: f64,
+    /// Worst sampled synchronization fraction.
+    pub min_sync_fraction: f64,
+    /// Whether the population reached a single chain within the grace
+    /// window after faults ended.
+    pub converged: bool,
+    /// Seconds from `end_faults` to single-chain convergence, when it
+    /// happened.
+    pub convergence_secs: Option<f64>,
+    /// Deepest reorg any node performed (blocks disconnected).
+    pub max_fork_depth: u64,
+    /// Total reorg operations across the population (`chain.reorgs`).
+    pub reorgs: u64,
+    /// Sibling blocks minted by the competing-miner channel.
+    pub competing_blocks: u64,
+    /// Private-chain blocks minted by the solo-miner channel.
+    pub solo_blocks: u64,
+    /// Peers discouraged-banned for misbehavior (`node.peer.banned`).
+    pub peers_banned: u64,
+    /// Established links the fault plane severed
+    /// (`fault.connection_flaps`).
+    pub connection_flaps: u64,
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("intensity", self.intensity)
+            .with("resilience", self.resilience)
+            .with("mean_sync_fraction", self.mean_sync_fraction)
+            .with("min_sync_fraction", self.min_sync_fraction)
+            .with("converged", self.converged)
+            .with("convergence_secs", self.convergence_secs)
+            .with("max_fork_depth", self.max_fork_depth)
+            .with("reorgs", self.reorgs)
+            .with("competing_blocks", self.competing_blocks)
+            .with("solo_blocks", self.solo_blocks)
+            .with("peers_banned", self.peers_banned)
+            .with("connection_flaps", self.connection_flaps)
+    }
+}
+
+/// The full sweep output: cells in `(intensity, resilience)` order,
+/// resilience-off first within each intensity.
+#[derive(Clone, Debug)]
+pub struct ForkStressResult {
+    /// One result per cell.
+    pub cells: Vec<CellResult>,
+}
+
+impl ToJson for ForkStressResult {
+    fn to_json(&self) -> Value {
+        Value::object().with("cells", self.cells.iter().collect::<Vec<_>>())
+    }
+}
+
+impl ForkStressResult {
+    /// Looks up one cell.
+    pub fn cell(&self, intensity: f64, resilience: bool) -> &CellResult {
+        self.cells
+            .iter()
+            .find(|c| c.intensity == intensity && c.resilience == resilience)
+            .expect("cell present")
+    }
+
+    /// The §IV reference cell: zero intensity, resilience off.
+    pub fn baseline(&self) -> &CellResult {
+        &self.cells[0]
+    }
+}
+
+/// Whether this node counts toward the honest sync metric: reachable, not
+/// spawned stalled, not malicious.
+fn is_honest(world: &World, slot: usize) -> bool {
+    let m = &world.meta[slot];
+    m.reachable && !m.stalled && !m.malicious
+}
+
+/// Fraction of honest online reachable nodes that are synchronized.
+fn honest_sync_fraction(world: &World) -> f64 {
+    let mut online = 0usize;
+    let mut synced = 0usize;
+    for id in world.online_ids() {
+        if is_honest(world, id.0 as usize) {
+            online += 1;
+            if world.is_synchronized(id) {
+                synced += 1;
+            }
+        }
+    }
+    if online == 0 {
+        0.0
+    } else {
+        synced as f64 / online as f64
+    }
+}
+
+/// Runs one cell.
+pub fn run_cell(cfg: &ForkStressConfig, intensity: f64, resilience: bool) -> CellResult {
+    run_cell_traced(
+        cfg,
+        intensity,
+        resilience,
+        &Recorder::new(),
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_cell`] with metrics reported into `rec` and events into `tracer`.
+pub fn run_cell_traced(
+    cfg: &ForkStressConfig,
+    intensity: f64,
+    resilience: bool,
+    rec: &Recorder,
+    tracer: &Tracer,
+) -> CellResult {
+    let node_cfg = NodeConfig {
+        resilience: if resilience {
+            ResilienceConfig::bitcoin_core()
+        } else {
+            ResilienceConfig::off()
+        },
+        ..NodeConfig::bitcoin_core()
+    };
+    let mut world = World::new(WorldConfig {
+        seed: cfg.seed,
+        node_cfg,
+        n_reachable: cfg.n_reachable,
+        n_malicious: 0,
+        n_unreachable_full: cfg.n_unreachable_full,
+        n_phantoms: cfg.n_phantoms,
+        seed_phantoms: 200.min(cfg.n_phantoms),
+        seed_reachable: 32,
+        churn: None,
+        block_interval: Some(SimDuration::from_secs(600)),
+        tx_rate: 0.2,
+        ibd_fresh_mean: Some(SimDuration::from_mins(30)),
+        instrument: Some(0),
+        fault: cfg.base_fault.scaled(intensity),
+        ..WorldConfig::default()
+    });
+    world.attach_metrics(rec.clone());
+    world.attach_tracer(tracer.clone());
+
+    // Counter deltas: cells share the experiment recorder, so each cell's
+    // contribution is the difference across its run.
+    let count0 = |name: &str| rec.counter(name);
+    let before = [
+        count0(metric::REORGS),
+        count0(metric::FAULT_COMPETING_BLOCKS),
+        count0(metric::FAULT_SOLO_BLOCKS),
+        count0(metric::PEER_BANNED),
+        count0(metric::FAULT_CONN_FLAPS),
+    ];
+
+    world.run_until(SimTime::ZERO + cfg.warmup);
+    let mut sync_samples = Vec::new();
+    let mut t = SimTime::ZERO + cfg.warmup;
+    let end = t + cfg.duration;
+    while t < end {
+        t += cfg.sample_every;
+        world.run_until(t);
+        sync_samples.push(honest_sync_fraction(&world));
+    }
+
+    // Storm over: stop the weather and clock the recovery.
+    world.end_faults();
+    let convergence = world.check_convergence(cfg.convergence_grace);
+
+    let after = [
+        count0(metric::REORGS),
+        count0(metric::FAULT_COMPETING_BLOCKS),
+        count0(metric::FAULT_SOLO_BLOCKS),
+        count0(metric::PEER_BANNED),
+        count0(metric::FAULT_CONN_FLAPS),
+    ];
+    let delta = |i: usize| after[i] - before[i];
+
+    let sync = Summary::of(&sync_samples);
+    CellResult {
+        intensity,
+        resilience,
+        mean_sync_fraction: sync.as_ref().map(|s| s.mean).unwrap_or(0.0),
+        min_sync_fraction: sync_samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0),
+        converged: convergence.is_some(),
+        convergence_secs: convergence.map(|d| d.as_secs_f64()),
+        max_fork_depth: world.max_reorg_depth(),
+        reorgs: delta(0),
+        competing_blocks: delta(1),
+        solo_blocks: delta(2),
+        peers_banned: delta(3),
+        connection_flaps: delta(4),
+    }
+}
+
+/// Runs the full sweep with the same seed in every cell.
+pub fn run(cfg: &ForkStressConfig) -> ForkStressResult {
+    run_recorded(cfg, &Recorder::new())
+}
+
+/// [`run`] with every cell's world reporting into `rec`.
+pub fn run_recorded(cfg: &ForkStressConfig, rec: &Recorder) -> ForkStressResult {
+    run_traced(cfg, rec, &Tracer::disabled())
+}
+
+/// [`run_recorded`] with a shared trace sink.
+pub fn run_traced(cfg: &ForkStressConfig, rec: &Recorder, tracer: &Tracer) -> ForkStressResult {
+    let mut cells = Vec::new();
+    for &intensity in &cfg.intensities {
+        for resilience in [false, true] {
+            cells.push(run_cell_traced(cfg, intensity, resilience, rec, tracer));
+        }
+    }
+    ForkStressResult { cells }
+}
+
+/// Registry entry for the fork-stress sweep.
+#[derive(Default)]
+pub struct ForkStressExperiment {
+    cfg: Option<ForkStressConfig>,
+    rendered: Option<String>,
+}
+
+impl Experiment for ForkStressExperiment {
+    fn name(&self) -> &'static str {
+        "forkstress"
+    }
+
+    fn paper_targets(&self) -> &'static [&'static str] {
+        &["§IV sync degradation under chain-layer fork/reorg storms"]
+    }
+
+    fn configure(&mut self, scale: Scale, seed: u64) {
+        self.cfg = Some(match scale {
+            Scale::Quick => ForkStressConfig::quick(seed),
+            _ => ForkStressConfig::scaled(seed),
+        });
+    }
+
+    fn run(&mut self, rec: &mut Recorder) -> Value {
+        self.run_traced(rec, &Tracer::disabled())
+    }
+
+    fn run_traced(&mut self, rec: &mut Recorder, tracer: &Tracer) -> Value {
+        let cfg = self.cfg.as_ref().expect("configure() before run()");
+        let r = run_traced(cfg, rec, tracer);
+        self.rendered = Some(crate::report::render_forkstress(&r));
+        r.to_json()
+    }
+
+    fn rendered(&self) -> Option<String> {
+        self.rendered.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_cells_in_order() {
+        let cfg = ForkStressConfig::quick(81);
+        let r = run(&cfg);
+        assert_eq!(r.cells.len(), cfg.intensities.len() * 2);
+        assert_eq!(r.baseline().intensity, 0.0);
+        assert!(!r.baseline().resilience);
+        for c in &r.cells {
+            assert!(c.mean_sync_fraction >= 0.0 && c.mean_sync_fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn storm_forces_forks_and_recovery_converges() {
+        let cfg = ForkStressConfig::quick(82);
+        let calm = run_cell(&cfg, 0.0, false);
+        let stormy = run_cell(&cfg, 1.0, false);
+        assert_eq!(calm.competing_blocks + calm.solo_blocks, 0);
+        assert!(
+            stormy.competing_blocks + stormy.solo_blocks > 0,
+            "chain fault channels never fired"
+        );
+        assert!(stormy.reorgs > 0, "storm produced no reorgs");
+        assert!(stormy.max_fork_depth >= 1);
+        assert!(calm.converged, "calm population failed to converge");
+        assert!(
+            stormy.converged,
+            "population still split after faults ended"
+        );
+    }
+}

@@ -20,14 +20,20 @@
 //!    ([`replay_relay_histogram`]) must equal the live
 //!    `node.relay_delay_secs` histogram exactly.
 //!
+//! Fault scenarios additionally *settle*: after the bounded run the fault
+//! plane is torn down and the world gets a grace window in which the
+//! surviving population must collapse back onto a single chain
+//! (`chain_converged`, see [`World::check_convergence`]).
+//!
 //! On failure the scenario is greedily [`shrink`]-ed to a minimal still-
 //! failing configuration and written as a flat JSON repro file that
 //! [`replay_file`] (and `repro fuzz --replay`) re-runs as a named case.
 //! A deliberate [`Fault`] can be injected to prove the harness catches a
-//! planted bug end to end: the two invariant-violating variants
-//! (duplicate deliveries, time-warped deliveries) must trip the checker,
-//! while the benign fault-plane variants (drops, delays, stalls, flaps,
-//! floods) must sail through all four harnesses.
+//! planted bug end to end: the invariant-violating variants (duplicate
+//! deliveries, time-warped deliveries, ban-reorg-peers) must trip the
+//! checker, while the benign fault-plane variants (drops, delays, stalls,
+//! flaps, floods, partition storms, competing/solo miners) must sail
+//! through all four harnesses *and* reconverge once the faults end.
 //!
 //! Everything is a pure function of the seed: same seed, same scenarios,
 //! same verdicts, byte-identical repro files.
@@ -376,6 +382,21 @@ impl ScenarioVerdict {
 /// How many retained violations a verdict quotes before truncating.
 const QUOTED_VIOLATIONS: usize = 3;
 
+/// After the bounded run of a fault scenario, stop the fault plane and
+/// give the survivors a grace window to collapse back onto one chain
+/// ([`World::check_convergence`] records a `chain_converged` violation on
+/// timeout when a checker is attached). Only fault scenarios settle: the
+/// convergence invariant promises recovery *once faults end*, and clean
+/// runs keep their historical digests and cost. Every harness run settles
+/// identically so wheel/heap/thread digests stay comparable.
+fn settle(world: &mut World, scenario: &Scenario) {
+    if scenario.fault.is_none() {
+        return;
+    }
+    world.end_faults();
+    world.check_convergence(SimDuration::from_secs(scenario.duration_secs.max(1_800)));
+}
+
 /// Builds and runs a world for `scenario` on `backend`, returning the
 /// finished world.
 fn run_world(scenario: &Scenario, backend: Backend) -> World {
@@ -385,6 +406,7 @@ fn run_world(scenario: &Scenario, backend: Backend) -> World {
     }
     let deadline = SimTime::ZERO + SimDuration::from_secs(scenario.duration_secs);
     world.run_steps(scenario.max_steps, deadline);
+    settle(&mut world, scenario);
     world
 }
 
@@ -426,8 +448,10 @@ pub fn check_scenario(scenario: &Scenario) -> ScenarioVerdict {
     }
     let deadline = SimTime::ZERO + SimDuration::from_secs(scenario.duration_secs);
     let events_processed = world.run_steps(scenario.max_steps, deadline);
+    settle(&mut world, scenario);
 
-    // 1. Per-event invariants accumulated by the checker.
+    // 1. Per-event invariants accumulated by the checker (including the
+    // post-fault `chain_converged` recovery check recorded by `settle`).
     if !checker.ok() {
         let retained = checker.violations();
         for v in retained.iter().take(QUOTED_VIOLATIONS) {

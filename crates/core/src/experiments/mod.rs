@@ -15,6 +15,7 @@
 //! | [`ablation`] | §V proposed refinements |
 //! | [`partition`] | §IV-A1 routing-attack evaluation on the live topology |
 //! | [`resilience`] | §IV root causes as a fault plane × Core countermeasures |
+//! | [`forkstress`] | §IV sync degradation under chain-layer fork/reorg storms |
 //!
 //! [`fuzz`] is not a paper artifact: it is the deterministic scenario
 //! fuzzer + world invariant checker backing `repro fuzz` (EXPERIMENTS.md
@@ -22,6 +23,7 @@
 
 pub mod ablation;
 pub mod census;
+pub mod forkstress;
 pub mod fuzz;
 pub mod partition;
 pub mod registry;

@@ -115,6 +115,7 @@ pub static REGISTRY: &[Constructor] = &[
     || Box::<super::partition::PartitionExperiment>::default(),
     || Box::<super::ablation::AblationExperiment>::default(),
     || Box::<super::resilience::ResilienceExperiment>::default(),
+    || Box::<super::forkstress::ForkStressExperiment>::default(),
 ];
 
 /// The registered experiment names, in registry order.

@@ -5,6 +5,7 @@
 
 use crate::experiments::ablation::AblationResult;
 use crate::experiments::census::CensusExperimentResult;
+use crate::experiments::forkstress::ForkStressResult;
 use crate::experiments::partition::PartitionResult;
 use crate::experiments::relay::RelayResult;
 use crate::experiments::resilience::ResilienceResult;
@@ -552,6 +553,57 @@ pub fn render_resilience(r: &ResilienceResult) -> String {
             c.peers_banned,
             c.dial_retries,
             c.stale_rescues
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders the fork-stress sweep: chain-fault intensity × resilience,
+/// with honest-sync deltas against the §IV baseline (intensity 0, off).
+pub fn render_forkstress(r: &ForkStressResult) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "forkstress — chain-layer fork/reorg storms × resilience"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<9} {:<6} {:>6} {:>8} {:>7} {:>8} {:>7} {:>6} {:>9} {:>6} {:>7}",
+        "intensity",
+        "resil",
+        "sync%",
+        "minsync%",
+        "Δsync",
+        "conv(s)",
+        "depth",
+        "reorgs",
+        "competing",
+        "solo",
+        "banned"
+    )
+    .unwrap();
+    let base_sync = r.baseline().mean_sync_fraction;
+    for c in &r.cells {
+        let conv = c
+            .convergence_secs
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "SPLIT".into());
+        writeln!(
+            out,
+            "  {:<9.2} {:<6} {:>5.1} {:>7.1} {:>7} {:>8} {:>7} {:>6} {:>9} {:>6} {:>7}",
+            c.intensity,
+            if c.resilience { "on" } else { "off" },
+            c.mean_sync_fraction * 100.0,
+            c.min_sync_fraction * 100.0,
+            format!("{:+.1}", (c.mean_sync_fraction - base_sync) * 100.0),
+            conv,
+            c.max_fork_depth,
+            c.reorgs,
+            c.competing_blocks,
+            c.solo_blocks,
+            c.peers_banned
         )
         .unwrap();
     }

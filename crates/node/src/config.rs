@@ -91,6 +91,13 @@ pub struct ResilienceConfig {
     pub stale_tip_timeout: Option<SimDuration>,
     /// World-side sweep interval for the timeout/stale-tip checks.
     pub tick_interval: SimDuration,
+    /// Misconfiguration, never part of a sane preset: treat any peer that
+    /// announces a competing fork (a block whose parent is off our active
+    /// chain) as a hostile miner and discourage it outright. After a
+    /// partition heals this bans exactly the peers serving the now-longer
+    /// majority chain, so the minority side can never resync — the
+    /// time-coin-style failure mode the `forkstress` fuzzer hunts for.
+    pub ban_on_reorg: bool,
 }
 
 impl ResilienceConfig {
@@ -110,6 +117,7 @@ impl ResilienceConfig {
             handshake_timeout: None,
             stale_tip_timeout: None,
             tick_interval: SimDuration::from_secs(30),
+            ban_on_reorg: false,
         }
     }
 
@@ -287,9 +295,11 @@ mod tests {
         assert!(!c.resilience.misbehavior);
         assert!(!c.resilience.dial_backoff);
         assert!(!c.resilience.needs_tick());
+        assert!(!c.resilience.ban_on_reorg);
         let r = NodeConfig::resilient();
         assert!(r.resilience.misbehavior);
         assert!(r.resilience.dial_backoff);
+        assert!(!r.resilience.ban_on_reorg, "no sane preset bans on reorg");
         assert!(r.resilience.needs_tick());
         assert_eq!(
             r.resilience.handshake_timeout,

@@ -43,6 +43,8 @@ pub mod world;
 
 pub use config::{NodeConfig, RelayPolicy, TxAnnounce};
 pub use malicious::{AddrFlooder, FloodScale};
-pub use node::{unix_time, Node, NodeRequest, NodeStats, Outgoing, SIM_EPOCH_UNIX};
+pub use node::{
+    unix_time, Node, NodeRequest, NodeStats, Outgoing, MAX_ORPHAN_BLOCKS, SIM_EPOCH_UNIX,
+};
 pub use peer::{Direction, Handshake, NodeId, Peer};
 pub use world::{ChurnEvent, Fault, World, WorldConfig};

@@ -18,7 +18,7 @@
 use crate::config::{NodeConfig, TxAnnounce};
 use crate::peer::{Direction, Handshake, NodeId, Peer};
 use bitsync_addrman::AddrMan;
-use bitsync_chain::{ChainState, Mempool};
+use bitsync_chain::{ChainState, Mempool, ReorgInfo};
 use bitsync_protocol::addr::{NetAddr, TimestampedAddr, NODE_NETWORK};
 use bitsync_protocol::block::Block;
 use bitsync_protocol::compact::{
@@ -40,6 +40,11 @@ pub const SIM_EPOCH_UNIX: i64 = 1_585_958_400;
 pub fn unix_time(now: SimTime) -> i64 {
     SIM_EPOCH_UNIX + now.as_secs() as i64
 }
+
+/// Maximum blocks parked in the orphan pool awaiting a parent; when full,
+/// the oldest orphan is evicted first (Core bounds its orphan set the same
+/// way, by memory).
+pub const MAX_ORPHAN_BLOCKS: usize = 32;
 
 /// A request from the node to the hosting world.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -94,6 +99,9 @@ pub struct NodeStats {
     pub peers_banned: u64,
     /// Stale-tip episodes that triggered an extra outbound dial.
     pub stale_rescues: u64,
+    /// Chain reorganizations (active-chain switches disconnecting at least
+    /// one block), counted at header or body connect, whichever first.
+    pub reorgs: u64,
 }
 
 /// Per-address exponential dial backoff state.
@@ -141,8 +149,11 @@ pub struct Node {
     in_flight_attempt: Option<(NetAddr, Direction)>,
     /// Compact blocks awaiting `BLOCKTXN`.
     pending_compact: HashMap<Hash256, PendingCompact>,
-    /// Orphan blocks awaiting their parent.
-    orphans: HashMap<Hash256, Block>,
+    /// Orphan blocks parked until their parent arrives, oldest first
+    /// (bounded by [`MAX_ORPHAN_BLOCKS`] with FIFO eviction).
+    orphans: VecDeque<Block>,
+    /// Reorgs observed since the world last drained them (trace hook).
+    pending_reorgs: Vec<ReorgInfo>,
     /// Peers we already answered `GETADDR` for (Core answers once).
     getaddr_answered: Vec<NodeId>,
     /// Cached `GETADDR` response and its expiry (Core 0.21 behaviour when
@@ -191,7 +202,8 @@ impl Node {
             socket_free_at: SimTime::ZERO,
             in_flight_attempt: None,
             pending_compact: HashMap::new(),
-            orphans: HashMap::new(),
+            orphans: VecDeque::new(),
+            pending_reorgs: Vec::new(),
             getaddr_answered: Vec::new(),
             getaddr_cached: None,
             stats: NodeStats::default(),
@@ -558,17 +570,17 @@ impl Node {
             Message::GetData(items) => self.on_getdata(from, items),
             Message::NotFound(_) => {}
             Message::Tx(tx) => self.on_tx(from, tx, now),
-            Message::Block(b) => self.on_block(from, *b, now),
+            Message::Block(b) => self.on_block(from, *b, now, requests),
             Message::GetHeaders(g) => self.on_getheaders(from, g),
-            Message::Headers(headers) => self.on_headers(from, headers),
+            Message::Headers(headers) => self.on_headers(from, headers, now, requests),
             Message::SendCmpct(s) => {
                 if let Some(p) = self.peers.get_mut(&from) {
                     p.prefers_compact = s.announce && s.version == 1;
                 }
             }
-            Message::CmpctBlock(cb) => self.on_cmpctblock(from, *cb, now),
+            Message::CmpctBlock(cb) => self.on_cmpctblock(from, *cb, now, requests),
             Message::GetBlockTxn(req) => self.on_getblocktxn(from, req),
-            Message::BlockTxn(bt) => self.on_blocktxn(from, bt, now),
+            Message::BlockTxn(bt) => self.on_blocktxn(from, bt, now, requests),
         }
     }
 
@@ -941,26 +953,66 @@ impl Node {
         }
     }
 
-    fn on_block(&mut self, from: NodeId, block: Block, now: SimTime) {
+    fn on_block(
+        &mut self,
+        from: NodeId,
+        block: Block,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) {
         let hash = block.block_hash();
         if let Some(p) = self.peers.get_mut(&from) {
             p.mark_known(hash);
         }
-        self.accept_block(block, Some(from), now);
+        self.accept_block(block, Some(from), now, requests);
+    }
+
+    /// True when connecting a block or header on `parent` would displace
+    /// the active chain: the parent is known but off the active tip, and
+    /// a child on it would outrank the current tip.
+    fn would_reorg(&self, parent: &Hash256) -> bool {
+        *parent != self.chain.tip_hash()
+            && self
+                .chain
+                .height_of(parent)
+                .is_some_and(|ph| ph + 1 > self.chain.height())
+    }
+
+    /// The `ban_on_reorg` misconfiguration (see
+    /// [`crate::config::ResilienceConfig::ban_on_reorg`]): discourage the
+    /// peer as if it were a hostile miner. Returns `true` when it fired,
+    /// in which case the caller must not connect the announcement.
+    fn ban_fork_announcer(
+        &mut self,
+        from: NodeId,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) -> bool {
+        if !self.cfg.resilience.ban_on_reorg {
+            return false;
+        }
+        let threshold = self.cfg.resilience.ban_threshold;
+        self.misbehave(from, threshold, now, requests);
+        true
     }
 
     /// Accepts a block (from the network or mined locally), connects any
-    /// orphans it unblocks, and relays it. Returns `true` if it extended
-    /// our view.
-    #[allow(clippy::only_used_in_recursion)]
-    pub fn accept_block(&mut self, block: Block, from: Option<NodeId>, now: SimTime) -> bool {
+    /// parked orphans it unblocks, and relays it. Returns `true` if the
+    /// block itself joined the block tree.
+    pub fn accept_block(
+        &mut self,
+        block: Block,
+        from: Option<NodeId>,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) -> bool {
         let hash = block.block_hash();
         if self.chain.has_body(&hash) {
             return false;
         }
         if !self.chain.contains(&block.header.prev_blockhash) {
-            // Orphan: stash it and ask the sender for the missing history.
-            self.orphans.insert(block.header.prev_blockhash, block);
+            // Orphan: park it and ask the sender for the missing history.
+            self.park_orphan(block);
             if let Some(peer) = from {
                 let locator = self.chain.locator();
                 self.send(
@@ -973,22 +1025,86 @@ impl Node {
             }
             return false;
         }
-        if self.chain.connect_block(&block).is_err() {
+        if let Some(peer) = from {
+            if self.would_reorg(&block.header.prev_blockhash)
+                && self.ban_fork_announcer(peer, now, requests)
+            {
+                return false;
+            }
+        }
+        if !self.connect_and_relay(block, now) {
             return false;
         }
+        // Connect parked orphans this block (transitively) unblocked.
+        let mut parents = vec![hash];
+        while let Some(parent) = parents.pop() {
+            let mut i = 0;
+            while i < self.orphans.len() {
+                if self.orphans[i].header.prev_blockhash == parent {
+                    let orphan = self.orphans.remove(i).expect("index in bounds");
+                    let ohash = orphan.block_hash();
+                    if self.connect_and_relay(orphan, now) {
+                        parents.push(ohash);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Parks an orphan block, deduplicating by hash and evicting the
+    /// oldest entry when the pool is full.
+    fn park_orphan(&mut self, block: Block) {
+        let hash = block.block_hash();
+        if self.orphans.iter().any(|b| b.block_hash() == hash) {
+            return;
+        }
+        if self.orphans.len() == MAX_ORPHAN_BLOCKS {
+            self.orphans.pop_front();
+        }
+        self.orphans.push_back(block);
+    }
+
+    /// Number of blocks currently parked in the orphan pool.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.len()
+    }
+
+    /// Connects one block whose parent is known, updating stats, stale-tip
+    /// bookkeeping, reorg records, the mempool, and relaying it on.
+    fn connect_and_relay(&mut self, block: Block, now: SimTime) -> bool {
+        let hash = block.block_hash();
+        let Ok(reorg) = self.chain.connect_block(&block) else {
+            return false;
+        };
         self.stats.blocks_accepted += 1;
         // The tip advanced: reset stale-tip detection and retire any
         // extra outbound slot it granted (the connection itself stays;
         // natural churn brings the count back to the configured target).
         self.last_tip_change = now;
         self.stale_tip_extra = false;
+        self.record_reorg(reorg);
         self.mempool.remove_confirmed(&block.txids());
         self.relay_block(&hash);
-        // Connect any orphan waiting on this block.
-        if let Some(orphan) = self.orphans.remove(&hash) {
-            self.accept_block(orphan, from, now);
-        }
         true
+    }
+
+    /// Records a reorg reported by the chain for the world to drain.
+    fn record_reorg(&mut self, reorg: Option<ReorgInfo>) {
+        if let Some(info) = reorg {
+            if info.is_reorg() {
+                self.stats.reorgs += 1;
+                self.pending_reorgs.push(info);
+            }
+        }
+    }
+
+    /// Takes the reorgs observed since the last drain (world-side
+    /// trace/metric hook).
+    pub fn take_reorgs(&mut self) -> Vec<ReorgInfo> {
+        std::mem::take(&mut self.pending_reorgs)
     }
 
     fn relay_block(&mut self, hash: &Hash256) {
@@ -1028,11 +1144,22 @@ impl Node {
         }
     }
 
-    fn on_headers(&mut self, from: NodeId, headers: Vec<bitsync_protocol::block::BlockHeader>) {
+    fn on_headers(
+        &mut self,
+        from: NodeId,
+        headers: Vec<bitsync_protocol::block::BlockHeader>,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) {
         let mut want: Vec<InvVect> = Vec::new();
         for h in &headers {
             let hash = h.block_hash();
-            let _ = self.chain.connect_header(h);
+            if self.would_reorg(&h.prev_blockhash) && self.ban_fork_announcer(from, now, requests) {
+                return;
+            }
+            if let Ok(reorg) = self.chain.connect_header(h) {
+                self.record_reorg(reorg);
+            }
             if self.chain.contains(&hash) && !self.chain.has_body(&hash) {
                 want.push(InvVect::block(hash));
             }
@@ -1045,7 +1172,13 @@ impl Node {
         }
     }
 
-    fn on_cmpctblock(&mut self, from: NodeId, cb: CompactBlock, now: SimTime) {
+    fn on_cmpctblock(
+        &mut self,
+        from: NodeId,
+        cb: CompactBlock,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) {
         let hash = cb.block_hash();
         if let Some(p) = self.peers.get_mut(&from) {
             p.mark_known(hash);
@@ -1063,7 +1196,7 @@ impl Node {
                 .cloned()
         }) {
             Reconstruction::Complete(block) => {
-                self.accept_block(*block, Some(from), now);
+                self.accept_block(*block, Some(from), now, requests);
             }
             Reconstruction::Missing { indexes } => {
                 self.pending_compact
@@ -1097,7 +1230,13 @@ impl Node {
         );
     }
 
-    fn on_blocktxn(&mut self, _from: NodeId, bt: BlockTxn, now: SimTime) {
+    fn on_blocktxn(
+        &mut self,
+        _from: NodeId,
+        bt: BlockTxn,
+        now: SimTime,
+        requests: &mut Vec<NodeRequest>,
+    ) {
         let Some(pending) = self.pending_compact.remove(&bt.block_hash) else {
             return;
         };
@@ -1125,7 +1264,7 @@ impl Node {
         });
         if let Reconstruction::Complete(block) = result {
             let from = pending.from;
-            self.accept_block(*block, Some(from), now);
+            self.accept_block(*block, Some(from), now, requests);
         }
     }
 
@@ -1147,7 +1286,11 @@ impl Node {
             &mut self.rng,
         );
         let hash = block.block_hash();
-        if self.accept_block(block, None, now) {
+        // Local production never bans (no sender), so the scratch request
+        // buffer stays empty.
+        let mut requests = Vec::new();
+        if self.accept_block(block, None, now, &mut requests) {
+            debug_assert!(requests.is_empty());
             Some(hash)
         } else {
             None

@@ -331,6 +331,12 @@ pub struct World {
     ledger: ObjectLedger,
     /// Event-loop timestamp monotonicity witness.
     clock: MonotoneClock,
+    /// Last observed chain height per node slot, for the
+    /// `height_regression` invariant (reset when a slot rejoins with a
+    /// fresh chain).
+    last_heights: Vec<u64>,
+    /// Deepest reorg observed anywhere, in disconnected blocks.
+    max_reorg_depth: u64,
 }
 
 /// Canonical metric names the world reports into its [`Recorder`].
@@ -366,6 +372,15 @@ pub mod metric {
     pub const FAULT_CONN_FLAPS: &str = "fault.connection_flaps";
     /// Partition cuts applied by the fault-plane schedule (counter).
     pub const FAULT_PARTITION_FLAPS: &str = "fault.partition_flaps";
+    /// Chain reorganizations observed across all nodes (counter).
+    pub const REORGS: &str = "chain.reorgs";
+    /// Deepest reorg observed, in disconnected blocks (gauge).
+    pub const REORG_DEPTH_MAX: &str = "chain.reorg_depth_max";
+    /// Sibling blocks minted by the competing-miner fault channel
+    /// (counter).
+    pub const FAULT_COMPETING_BLOCKS: &str = "fault.competing_blocks";
+    /// Stale-tip blocks minted by the solo-miner fault channel (counter).
+    pub const FAULT_SOLO_BLOCKS: &str = "fault.solo_blocks";
 }
 
 /// Message-count buckets for [`metric::PUMP_FLUSHED_PER_ROUND`].
@@ -450,6 +465,8 @@ impl World {
             fault_plane,
             ledger: ObjectLedger::new(),
             clock: MonotoneClock::new(),
+            last_heights: Vec::new(),
+            max_reorg_depth: 0,
             cfg,
         };
 
@@ -583,6 +600,7 @@ impl World {
         self.pump_scheduled.push(false);
         self.connect_scheduled.push(false);
         self.resilience_scheduled.push(false);
+        self.last_heights.push(0);
         id
     }
 
@@ -693,19 +711,132 @@ impl World {
     /// wiring such as stall assignment cannot be applied retroactively).
     pub fn inject_fault(&mut self, fault: Fault) {
         match fault.plane_config() {
-            Some(preset) => {
-                if self.fault_plane.is_none() {
-                    self.cfg.fault = preset.clone();
-                    self.fault_plane = Some(FaultPlane::new(preset, self.cfg.seed));
-                    self.schedule_conn_flap(self.now());
-                    if let Some(pf) = self.fault_plane.as_ref().and_then(|p| p.cfg.partition_flap) {
-                        self.queue
-                            .schedule(self.now() + pf.period, Ev::PartitionFlap(true));
+            Some(preset) => self.arm_plane(preset),
+            None => {
+                self.fault = Some(fault);
+                if fault == Fault::BanReorgPeers {
+                    // The broken fork policy needs forks to mishandle:
+                    // arm the reorg-storm plane, then flip the
+                    // misconfiguration on at every node (current and
+                    // future spawns).
+                    self.arm_plane(bitsync_sim::fault::Fault::reorg_storm_config());
+                    self.cfg.node_cfg.resilience.ban_on_reorg = true;
+                    for node in self.nodes.iter_mut().flatten() {
+                        node.cfg.resilience.ban_on_reorg = true;
                     }
                 }
             }
-            None => self.fault = Some(fault),
         }
+    }
+
+    /// Installs a fault plane from `preset` (a no-op when one is already
+    /// live) and schedules its flap timers.
+    fn arm_plane(&mut self, preset: FaultConfig) {
+        if self.fault_plane.is_some() {
+            return;
+        }
+        self.cfg.fault = preset.clone();
+        self.fault_plane = Some(FaultPlane::new(preset, self.cfg.seed));
+        self.schedule_conn_flap(self.now());
+        if let Some(pf) = self.fault_plane.as_ref().and_then(|p| p.cfg.partition_flap) {
+            self.queue
+                .schedule(self.now() + pf.period, Ev::PartitionFlap(true));
+        }
+    }
+
+    /// Stops every injected *network* fault: the plane is dismantled (no
+    /// more drops, delays, flaps, or scheduled partitions) and any active
+    /// partition heals. Damage already done — forks, bans, discouragement
+    /// windows — remains, as does a node-side misconfiguration armed by a
+    /// bug-injection fault: stopping the weather does not patch the
+    /// software, which is exactly the distinction the `chain_converged`
+    /// invariant probes.
+    pub fn end_faults(&mut self) {
+        self.fault_plane = None;
+        self.cfg.fault = FaultConfig::off();
+        self.lift_partition();
+    }
+
+    /// Nodes that must agree for the world to count as converged: online,
+    /// reachable, unstalled, honest, and past their IBD debt.
+    fn convergence_eligible(&self) -> Vec<NodeId> {
+        let now = self.now();
+        self.online_ids()
+            .into_iter()
+            .filter(|id| {
+                let m = &self.meta[id.0 as usize];
+                m.reachable && !m.stalled && !m.malicious && m.ibd_until <= now
+            })
+            .collect()
+    }
+
+    /// Whether every eligible node sits on one single chain: all at the
+    /// same best height with the same tip-height hash. Vacuously true
+    /// with no eligible nodes. Transiently false while a fresh block
+    /// propagates, so poll it rather than asserting at one instant.
+    pub fn converged(&self) -> bool {
+        let eligible = self.convergence_eligible();
+        let Some(target) = eligible
+            .iter()
+            .filter_map(|id| self.node(*id).map(|n| n.chain.height()))
+            .max()
+        else {
+            return true;
+        };
+        let mut tip: Option<Hash256> = None;
+        for id in eligible {
+            let Some(node) = self.node(id) else {
+                return false;
+            };
+            if node.chain.height() < target {
+                return false;
+            }
+            let h = node.chain.hash_at_height(target);
+            match (tip, h) {
+                (None, Some(hash)) => tip = Some(hash),
+                (Some(t), Some(hash)) if t == hash => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Runs the world forward, sampling every 30 s, until the eligible
+    /// nodes converge on a single chain or `grace` elapses. On timeout a
+    /// `chain_converged` violation is recorded (when a checker is
+    /// attached). Returns the time convergence took, or `None`.
+    ///
+    /// Call [`World::end_faults`] first: this measures *recovery*, and
+    /// the invariant only promises convergence once faults end.
+    pub fn check_convergence(&mut self, grace: SimDuration) -> Option<SimDuration> {
+        let start = self.now();
+        let deadline = start + grace;
+        let step = SimDuration::from_secs(30);
+        loop {
+            if self.converged() {
+                return Some(self.now().saturating_since(start));
+            }
+            if self.now() >= deadline {
+                break;
+            }
+            let next = (self.now() + step).min(deadline);
+            self.run_until(next);
+        }
+        let at = self.now();
+        let eligible = self.convergence_eligible();
+        let heights: Vec<(u32, u64)> = eligible
+            .iter()
+            .filter_map(|id| self.node(*id).map(|n| (id.0, n.chain.height())))
+            .collect();
+        self.checker.fail(at, "chain_converged", || {
+            format!(
+                "{} eligible nodes still split {} after faults ended: heights {:?}",
+                heights.len(),
+                grace,
+                heights
+            )
+        });
+        None
     }
 
     /// Shared access to a node (if online).
@@ -905,37 +1036,37 @@ impl World {
             now
         };
         let checking = self.checker.is_enabled();
-        // Which node's tables this event can mutate; checked after the
-        // handler so the checker sees the post-event state.
-        let mut touched: Option<NodeId> = None;
+        // Which node's tables this event can mutate; its reorgs are
+        // drained (and its invariants checked) after the handler so both
+        // see the post-event state.
+        let touched: Option<NodeId> = match &ev {
+            Ev::Pump(id) | Ev::ConnectTick(id) | Ev::Feeler(id) | Ev::ResilienceTick(id) => {
+                Some(*id)
+            }
+            Ev::DialResult { initiator, .. } => Some(*initiator),
+            Ev::Deliver { to, .. } => Some(*to),
+            _ => None,
+        };
         if checking {
             let ok = self.clock.observe(now);
             let last = self.clock.last();
             self.checker.check(ok, now, "time_monotone", || {
                 format!("event at {now} after the loop reached {last}")
             });
-            touched = match &ev {
-                Ev::Pump(id) | Ev::ConnectTick(id) | Ev::Feeler(id) | Ev::ResilienceTick(id) => {
-                    Some(*id)
+            if let Ev::Deliver { to, msg, .. } = &ev {
+                // Conservation: a delivery of a relayable object must
+                // be covered by a previously scheduled send.
+                if let Some((hash, _)) = relay_key(msg) {
+                    let ok = self.ledger.record_delivery(hash.0);
+                    let (sends, deliveries) = self.ledger.counts(&hash.0);
+                    self.checker.check(ok, now, "deliveries_le_sends", || {
+                        format!(
+                            "object {hash:?}: {deliveries} deliveries > {sends} sends at node {}",
+                            to.0
+                        )
+                    });
                 }
-                Ev::DialResult { initiator, .. } => Some(*initiator),
-                Ev::Deliver { to, msg, .. } => {
-                    // Conservation: a delivery of a relayable object must
-                    // be covered by a previously scheduled send.
-                    if let Some((hash, _)) = relay_key(msg) {
-                        let ok = self.ledger.record_delivery(hash.0);
-                        let (sends, deliveries) = self.ledger.counts(&hash.0);
-                        self.checker.check(ok, now, "deliveries_le_sends", || {
-                            format!(
-                                "object {hash:?}: {deliveries} deliveries > {sends} sends at node {}",
-                                to.0
-                            )
-                        });
-                    }
-                    Some(*to)
-                }
-                _ => None,
-            };
+            }
         }
         match ev {
             Ev::Pump(id) => self.on_pump(id, now),
@@ -967,11 +1098,65 @@ impl World {
             Ev::PartitionFlap(cut) => self.on_partition_flap(cut, now),
             Ev::ResilienceTick(id) => self.on_resilience_tick(id, now),
         }
-        if checking {
-            if let Some(id) = touched {
+        if let Some(id) = touched {
+            self.observe_chain(id, now);
+            if checking {
                 self.check_node_invariants(id, now);
             }
         }
+    }
+
+    /// Drains reorgs the node observed during the event just handled —
+    /// tracing and counting each — and enforces the `height_regression`
+    /// invariant: a node's best height may only move backwards together
+    /// with a recorded reorg event explaining it.
+    fn observe_chain(&mut self, id: NodeId, now: SimTime) {
+        let slot = id.0 as usize;
+        let Some((height, reorgs)) = self.nodes[slot]
+            .as_mut()
+            .map(|n| (n.chain.height(), n.take_reorgs()))
+        else {
+            return;
+        };
+        if !reorgs.is_empty() {
+            self.metrics.inc(metric::REORGS, reorgs.len() as u64);
+            for info in &reorgs {
+                self.max_reorg_depth = self.max_reorg_depth.max(info.depth());
+                self.metrics
+                    .gauge_max(metric::REORG_DEPTH_MAX, info.depth() as f64);
+                if self.tracer.is_enabled() {
+                    self.tracer.reorg(trace::ReorgEvent {
+                        at: now,
+                        node: id.0,
+                        old_tip: info.old_tip.0,
+                        new_tip: info.new_tip.0,
+                        old_height: info.old_height,
+                        new_height: info.new_height,
+                        depth: info.depth(),
+                    });
+                }
+            }
+        }
+        if self.checker.is_enabled() {
+            let last = self.last_heights[slot];
+            self.checker.check(
+                height >= last || !reorgs.is_empty(),
+                now,
+                "height_regression",
+                || {
+                    format!(
+                        "node {} best height fell {last} -> {height} with no matching reorg event",
+                        id.0
+                    )
+                },
+            );
+        }
+        self.last_heights[slot] = height;
+    }
+
+    /// Deepest reorg observed anywhere so far, in disconnected blocks.
+    pub fn max_reorg_depth(&self) -> u64 {
+        self.max_reorg_depth
     }
 
     /// Post-event node checks: outdegree cap and addrman consistency.
@@ -1656,9 +1841,91 @@ impl World {
                     });
                 }
             }
+            self.observe_chain(producer, now);
             self.schedule_pump(producer, now);
         }
+        self.fault_mine(now);
         self.schedule_mine(now);
+    }
+
+    /// Chain-layer fault channels, drawn on the plane's stream once per
+    /// `Mine` event: a *competing miner* (a producer one block behind the
+    /// tip mints a sibling of the freshest block) and a *solo miner* (a
+    /// lagging producer extends its own stale tip, growing a private
+    /// fork). Guarded draws: an inactive channel consumes no randomness,
+    /// so fault-free snapshots stay byte-identical.
+    fn fault_mine(&mut self, now: SimTime) {
+        let compete_p = self.cfg.fault.competing_miner_probability;
+        if compete_p > 0.0
+            && self
+                .fault_plane
+                .as_mut()
+                .is_some_and(|p| p.rng().chance(compete_p))
+        {
+            let best = self.best_height;
+            let candidates = self.fault_miner_candidates(|h| h + 1 == best);
+            self.fault_produce(&candidates, metric::FAULT_COMPETING_BLOCKS, now);
+        }
+        let solo_p = self.cfg.fault.solo_miner_probability;
+        if solo_p > 0.0
+            && self
+                .fault_plane
+                .as_mut()
+                .is_some_and(|p| p.rng().chance(solo_p))
+        {
+            let best = self.best_height;
+            let candidates = self.fault_miner_candidates(|h| h < best);
+            self.fault_produce(&candidates, metric::FAULT_SOLO_BLOCKS, now);
+        }
+    }
+
+    /// Online, reachable, unstalled nodes whose chain height satisfies
+    /// `pick`, in deterministic id order.
+    fn fault_miner_candidates(&self, pick: impl Fn(u64) -> bool) -> Vec<NodeId> {
+        self.online_ids()
+            .into_iter()
+            .filter(|id| {
+                let m = &self.meta[id.0 as usize];
+                m.reachable && !m.stalled && self.node(*id).is_some_and(|n| pick(n.chain.height()))
+            })
+            .collect()
+    }
+
+    /// Mines one fault-channel block at a plane-chosen candidate (on the
+    /// candidate's *own* tip, which is what makes it a fork block).
+    fn fault_produce(&mut self, candidates: &[NodeId], counter: &'static str, now: SimTime) {
+        if candidates.is_empty() {
+            return;
+        }
+        let Some(plane) = self.fault_plane.as_mut() else {
+            return;
+        };
+        let producer = candidates[plane.rng().index(candidates.len())];
+        let mut miner = std::mem::replace(&mut self.miner, Miner::new(0, 1));
+        let mut mined: Option<Hash256> = None;
+        if let Some(node) = self.node_mut(producer) {
+            if let Some(hash) = node.mine_and_relay(&mut miner, now) {
+                let height = node.chain.height();
+                self.best_height = self.best_height.max(height);
+                mined = Some(hash);
+            }
+        }
+        self.miner = miner;
+        if let Some(hash) = mined {
+            self.metrics.inc(counter, 1);
+            if self.tracer.is_enabled() {
+                self.tracer.relay(trace::RelayEvent {
+                    at: now,
+                    phase: trace::RelayPhase::Origin,
+                    object: hash.0,
+                    is_block: true,
+                    from: None,
+                    to: producer.0,
+                });
+            }
+        }
+        self.observe_chain(producer, now);
+        self.schedule_pump(producer, now);
     }
 
     fn on_inject_tx(&mut self, now: SimTime) {
@@ -1811,6 +2078,9 @@ impl World {
         };
         self.nodes[slot] = Some(node);
         self.meta[slot].online = true;
+        // A rejoin restarts from genesis; the height-regression tracking
+        // must not mistake the fresh chain for a rollback.
+        self.last_heights[slot] = 0;
         // Rejoins resync quickly (paper: 11 min 14 s measured).
         if self.meta[slot].ibd_until != SimTime::MAX {
             let debt = self.rng.exp_duration(self.cfg.ibd_rejoin_mean);

@@ -239,6 +239,162 @@ fn orphan_block_is_stashed_and_connected_after_parent() {
 }
 
 #[test]
+fn deep_out_of_order_delivery_connects_transitively() {
+    let now = SimTime::from_secs(1);
+    let mut donor = node(1, 50);
+    let mut miner = Miner::new(5, 10);
+    for _ in 0..6 {
+        donor.mine_and_relay(&mut miner, now);
+    }
+    let blocks: Vec<_> = (1..=6)
+        .map(|h| {
+            donor
+                .chain
+                .block(&donor.chain.hash_at_height(h).unwrap())
+                .unwrap()
+                .clone()
+        })
+        .collect();
+
+    let mut n = node(0, 51);
+    ready_inbound_peer(&mut n, 9, now);
+    // Deliver the whole chain in reverse: five orphans pile up, then the
+    // first block unblocks them all in one pass.
+    for b in blocks.iter().rev() {
+        n.deliver(NodeId(9), Message::Block(Box::new(b.clone())));
+        n.pump(now);
+    }
+    assert_eq!(n.chain.height(), 6, "reverse delivery fully connected");
+    assert_eq!(n.orphan_count(), 0, "orphan pool drained");
+    for b in &blocks {
+        assert!(n.chain.has_body(&b.block_hash()));
+    }
+}
+
+#[test]
+fn orphan_pool_is_bounded_with_fifo_eviction() {
+    use bitsync_node::MAX_ORPHAN_BLOCKS;
+
+    let now = SimTime::from_secs(1);
+    let mut donor = node(1, 52);
+    let mut miner = Miner::new(6, 10);
+    for _ in 0..MAX_ORPHAN_BLOCKS + 5 {
+        donor.mine_and_relay(&mut miner, now);
+    }
+    let mut n = node(0, 53);
+    ready_inbound_peer(&mut n, 9, now);
+    // Deliver blocks 2.. without block 1: every one is an orphan.
+    for h in 2..=(MAX_ORPHAN_BLOCKS as u64 + 5) {
+        let b = donor
+            .chain
+            .block(&donor.chain.hash_at_height(h).unwrap())
+            .unwrap()
+            .clone();
+        n.deliver(NodeId(9), Message::Block(Box::new(b.clone())));
+        n.pump(now);
+        // Re-delivering the same orphan must not occupy a second slot.
+        n.deliver(NodeId(9), Message::Block(Box::new(b)));
+        n.pump(now);
+    }
+    assert_eq!(n.orphan_count(), MAX_ORPHAN_BLOCKS, "pool respects cap");
+    // The oldest orphans (heights 2..) were evicted; the newest survive.
+    let b1 = donor
+        .chain
+        .block(&donor.chain.hash_at_height(1).unwrap())
+        .unwrap()
+        .clone();
+    n.deliver(NodeId(9), Message::Block(Box::new(b1)));
+    n.pump(now);
+    // Height 1 connected, but its child (height 2) was evicted, so the
+    // surviving high orphans stay parked.
+    assert_eq!(n.chain.height(), 1);
+    assert_eq!(n.orphan_count(), MAX_ORPHAN_BLOCKS);
+}
+
+/// Builds two competing chains from genesis: `short` of 2 blocks and
+/// `long` of 3 (distinct miner namespaces give distinct hashes).
+fn two_forks(
+    now: SimTime,
+) -> (
+    Vec<bitsync_protocol::block::Block>,
+    Vec<bitsync_protocol::block::Block>,
+) {
+    let mut a = node(1, 54);
+    let mut ma = Miner::new(7, 10);
+    for _ in 0..2 {
+        a.mine_and_relay(&mut ma, now);
+    }
+    let mut b = node(2, 55);
+    let mut mb = Miner::new(8, 10);
+    for _ in 0..3 {
+        b.mine_and_relay(&mut mb, now);
+    }
+    let take = |n: &Node, upto: u64| -> Vec<_> {
+        (1..=upto)
+            .map(|h| {
+                n.chain
+                    .block(&n.chain.hash_at_height(h).unwrap())
+                    .unwrap()
+                    .clone()
+            })
+            .collect()
+    };
+    (take(&a, 2), take(&b, 3))
+}
+
+#[test]
+fn longer_fork_reorgs_and_is_recorded() {
+    let now = SimTime::from_secs(1);
+    let (short, long) = two_forks(now);
+    let mut n = node(0, 56);
+    ready_inbound_peer(&mut n, 9, now);
+    for b in &short {
+        n.deliver(NodeId(9), Message::Block(Box::new(b.clone())));
+        n.pump(now);
+    }
+    assert_eq!(n.chain.height(), 2);
+    for b in &long {
+        n.deliver(NodeId(9), Message::Block(Box::new(b.clone())));
+        n.pump(now);
+    }
+    assert_eq!(n.chain.height(), 3, "longer fork won");
+    assert_eq!(n.chain.tip_hash(), long[2].block_hash());
+    assert_eq!(n.stats.reorgs, 1, "one reorg recorded");
+    let reorgs = n.take_reorgs();
+    assert_eq!(reorgs.len(), 1);
+    assert_eq!(reorgs[0].depth(), 2);
+    assert_eq!(reorgs[0].fork_height, 0);
+    assert!(n.take_reorgs().is_empty(), "drain leaves nothing behind");
+}
+
+#[test]
+fn ban_on_reorg_misconfiguration_bans_the_fork_announcer() {
+    let now = SimTime::from_secs(1);
+    let (short, long) = two_forks(now);
+    let mut cfg = NodeConfig::bitcoin_core();
+    cfg.resilience.ban_on_reorg = true;
+    let mut n = Node::new(NodeId(0), addr(1), true, cfg, 57);
+    ready_inbound_peer(&mut n, 9, now);
+    for b in &short {
+        n.deliver(NodeId(9), Message::Block(Box::new(b.clone())));
+        n.pump(now);
+    }
+    let mut banned = false;
+    for b in &long {
+        n.deliver(NodeId(9), Message::Block(Box::new(b.clone())));
+        let (_, reqs) = n.pump(now);
+        if reqs.contains(&bitsync_node::NodeRequest::Ban(NodeId(9))) {
+            banned = true;
+        }
+    }
+    assert!(banned, "fork announcer must be discouraged");
+    assert_eq!(n.stats.peers_banned, 1);
+    assert_eq!(n.chain.height(), 2, "displacing block rejected");
+    assert_eq!(n.chain.tip_hash(), short[1].block_hash());
+    assert_eq!(n.stats.reorgs, 0, "the broken policy never reorgs");
+}
+
+#[test]
 fn addr_entries_land_in_addrman_with_peer_as_source() {
     let now = SimTime::from_secs(1);
     let mut n = node(0, 11);

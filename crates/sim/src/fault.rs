@@ -15,7 +15,10 @@
 //! - **connection flaps** (random established links are severed on an
 //!   exponential clock);
 //! - **partition flap schedules** (a fraction of the AS topology is
-//!   periodically cut off and healed, [`PartitionFlapConfig`]).
+//!   periodically cut off and healed, [`PartitionFlapConfig`]);
+//! - **chain-layer faults**: competing miners minting sibling blocks at
+//!   the best height, and stale-tip solo producers extending private
+//!   side chains — both fork the block tree and force reorgs downstream.
 //!
 //! The plane draws all of its randomness from its own [`SimRng`] stream,
 //! seeded independently of the world it perturbs (the host XORs a salt
@@ -84,6 +87,13 @@ pub struct FaultConfig {
     pub connection_flap_interval: Option<SimDuration>,
     /// Periodic AS-level partition schedule, or `None` to disable.
     pub partition_flap: Option<PartitionFlapConfig>,
+    /// Probability, per block-production event, that a second eligible
+    /// producer mines a competing sibling block at the same height.
+    pub competing_miner_probability: f64,
+    /// Probability, per block-production event, that a stale-tip node
+    /// (below the best height) extends its own private side chain by one
+    /// block instead of catching up.
+    pub solo_miner_probability: f64,
 }
 
 impl FaultConfig {
@@ -99,6 +109,8 @@ impl FaultConfig {
             addr_flood_factor: 1.0,
             connection_flap_interval: None,
             partition_flap: None,
+            competing_miner_probability: 0.0,
+            solo_miner_probability: 0.0,
         }
     }
 
@@ -111,6 +123,8 @@ impl FaultConfig {
             || self.addr_flood_factor > 1.0
             || self.connection_flap_interval.is_some()
             || self.partition_flap.is_some()
+            || self.competing_miner_probability > 0.0
+            || self.solo_miner_probability > 0.0
     }
 
     /// Scales every channel linearly by `intensity` (0 = off, 1 = `self`).
@@ -138,6 +152,8 @@ impl FaultConfig {
                 fraction: pf.fraction * intensity,
                 ..pf
             }),
+            competing_miner_probability: self.competing_miner_probability * intensity,
+            solo_miner_probability: self.solo_miner_probability * intensity,
         }
     }
 }
@@ -242,11 +258,29 @@ pub enum Fault {
     /// Benign plane preset: 40% of ASes are cut off for 30 s out of every
     /// 120 s.
     PartitionFlaps,
+    /// Benign chain-layer preset: on half of all block productions a
+    /// second eligible producer mines a competing sibling at the same
+    /// height, forking the tip.
+    CompetingMiners,
+    /// Benign chain-layer preset: on half of all block productions a
+    /// stale-tip node extends its own private side chain by one block
+    /// instead of catching up.
+    SoloMiners,
+    /// Benign chain-layer preset: a reorg storm — half the AS topology is
+    /// cut off for 60 s out of every 180 s while stranded nodes keep
+    /// mining their own branch, so every heal forces reorgs.
+    ReorgStorms,
+    /// Bug injection: nodes discourage-ban any peer whose blocks or
+    /// headers would reorg their active chain (the time-coin post-mortem
+    /// bug), run under a reorg-storm plane. Minority-side nodes ban the
+    /// peers serving the majority chain and never resync; caught by the
+    /// post-fault convergence invariant (`chain_converged`).
+    BanReorgPeers,
 }
 
 impl Fault {
     /// Every variant, in code order.
-    pub const ALL: [Fault; 9] = [
+    pub const ALL: [Fault; 13] = [
         Fault::DuplicateDeliveries,
         Fault::TimeWarpDeliveries,
         Fault::DropMessages,
@@ -256,6 +290,10 @@ impl Fault {
         Fault::AddrFlood,
         Fault::ConnectionFlaps,
         Fault::PartitionFlaps,
+        Fault::CompetingMiners,
+        Fault::SoloMiners,
+        Fault::ReorgStorms,
+        Fault::BanReorgPeers,
     ];
 
     /// CLI spelling, also used in failure reports.
@@ -270,6 +308,10 @@ impl Fault {
             Fault::AddrFlood => "addr-flood",
             Fault::ConnectionFlaps => "connection-flaps",
             Fault::PartitionFlaps => "partition-flaps",
+            Fault::CompetingMiners => "competing-miners",
+            Fault::SoloMiners => "solo-miners",
+            Fault::ReorgStorms => "reorg-storms",
+            Fault::BanReorgPeers => "ban-reorg-peers",
         }
     }
 
@@ -290,6 +332,10 @@ impl Fault {
             Fault::AddrFlood => 7,
             Fault::ConnectionFlaps => 8,
             Fault::PartitionFlaps => 9,
+            Fault::CompetingMiners => 10,
+            Fault::SoloMiners => 11,
+            Fault::ReorgStorms => 12,
+            Fault::BanReorgPeers => 13,
         }
     }
 
@@ -301,15 +347,20 @@ impl Fault {
     /// True for the bug injections that must trip the invariant checker;
     /// false for the benign plane presets that must pass the full battery.
     pub fn violates_invariants(self) -> bool {
-        matches!(self, Fault::DuplicateDeliveries | Fault::TimeWarpDeliveries)
+        matches!(
+            self,
+            Fault::DuplicateDeliveries | Fault::TimeWarpDeliveries | Fault::BanReorgPeers
+        )
     }
 
     /// The benign variants' canned [`FaultConfig`] preset; `None` for the
-    /// two bug injections (they rewire dispatch instead of the link
-    /// layer).
+    /// bug injections (they rewire dispatch or node behavior instead of
+    /// the link layer).
     pub fn plane_config(self) -> Option<FaultConfig> {
         let cfg = match self {
-            Fault::DuplicateDeliveries | Fault::TimeWarpDeliveries => return None,
+            Fault::DuplicateDeliveries | Fault::TimeWarpDeliveries | Fault::BanReorgPeers => {
+                return None
+            }
             Fault::DropMessages => FaultConfig {
                 drop_probability: 0.2,
                 ..FaultConfig::off()
@@ -344,8 +395,33 @@ impl Fault {
                 }),
                 ..FaultConfig::off()
             },
+            Fault::CompetingMiners => FaultConfig {
+                competing_miner_probability: 0.5,
+                ..FaultConfig::off()
+            },
+            Fault::SoloMiners => FaultConfig {
+                solo_miner_probability: 0.5,
+                ..FaultConfig::off()
+            },
+            Fault::ReorgStorms => Fault::reorg_storm_config(),
         };
         Some(cfg)
+    }
+
+    /// The reorg-storm mix: periodic partitions with both sides mining.
+    /// Also the plane [`Fault::BanReorgPeers`] runs under (the bug needs
+    /// reorgs to misfire on).
+    pub fn reorg_storm_config() -> FaultConfig {
+        FaultConfig {
+            partition_flap: Some(PartitionFlapConfig {
+                period: SimDuration::from_secs(180),
+                duration: SimDuration::from_secs(60),
+                fraction: 0.5,
+            }),
+            competing_miner_probability: 0.25,
+            solo_miner_probability: 0.5,
+            ..FaultConfig::off()
+        }
     }
 }
 

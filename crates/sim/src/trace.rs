@@ -380,8 +380,42 @@ impl CrawlEvent {
     }
 }
 
+/// One chain reorganization at a node: its active chain switched from
+/// `old_tip` to `new_tip`, disconnecting `depth` blocks above the fork
+/// point.
+#[derive(Clone, Debug)]
+pub struct ReorgEvent {
+    /// Simulation time the reorg completed.
+    pub at: SimTime,
+    /// The reorganizing node.
+    pub node: u32,
+    /// Hash of the abandoned tip.
+    pub old_tip: [u8; 32],
+    /// Hash of the newly active tip.
+    pub new_tip: [u8; 32],
+    /// Height of the abandoned tip.
+    pub old_height: u64,
+    /// Height of the newly active tip.
+    pub new_height: u64,
+    /// Blocks disconnected from the old active chain (fork depth).
+    pub depth: u64,
+}
+
+impl ReorgEvent {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("t_ns", self.at.as_nanos())
+            .with("node", self.node)
+            .with("old_tip", hex32(&self.old_tip))
+            .with("new_tip", hex32(&self.new_tip))
+            .with("old_height", self.old_height)
+            .with("new_height", self.new_height)
+            .with("depth", self.depth)
+    }
+}
+
 /// Every trace category in serialization order.
-pub const CATEGORIES: [&str; 5] = ["relay", "dial", "addr", "churn", "crawl"];
+pub const CATEGORIES: [&str; 6] = ["relay", "dial", "addr", "churn", "crawl", "reorg"];
 
 /// The collected trace of one experiment: one ring buffer per category.
 ///
@@ -400,6 +434,8 @@ pub struct TraceLog {
     pub churn: Ring<ChurnTrace>,
     /// Census crawler probes.
     pub crawl: Ring<CrawlEvent>,
+    /// Chain reorganizations at nodes.
+    pub reorg: Ring<ReorgEvent>,
 }
 
 impl TraceLog {
@@ -411,6 +447,7 @@ impl TraceLog {
             addr: Ring::with_cap(cap),
             churn: Ring::with_cap(cap),
             crawl: Ring::with_cap(cap),
+            reorg: Ring::with_cap(cap),
         }
     }
 
@@ -421,12 +458,17 @@ impl TraceLog {
             && self.addr.is_empty()
             && self.churn.is_empty()
             && self.crawl.is_empty()
+            && self.reorg.is_empty()
     }
 
     /// Total retained events across categories.
     pub fn total_events(&self) -> u64 {
-        (self.relay.len() + self.dial.len() + self.addr.len() + self.churn.len() + self.crawl.len())
-            as u64
+        (self.relay.len()
+            + self.dial.len()
+            + self.addr.len()
+            + self.churn.len()
+            + self.crawl.len()
+            + self.reorg.len()) as u64
     }
 
     /// Total events evicted across categories.
@@ -436,6 +478,7 @@ impl TraceLog {
             + self.addr.dropped()
             + self.churn.dropped()
             + self.crawl.dropped()
+            + self.reorg.dropped()
     }
 
     /// Serializes every non-empty category as `(name, JSONL)` pairs in
@@ -468,6 +511,9 @@ impl TraceLog {
         }
         if !self.crawl.is_empty() {
             cats.push(("crawl", render(&self.crawl, CrawlEvent::to_json)));
+        }
+        if !self.reorg.is_empty() {
+            cats.push(("reorg", render(&self.reorg, ReorgEvent::to_json)));
         }
         cats
     }
@@ -553,6 +599,13 @@ impl Tracer {
     pub fn crawl(&self, ev: CrawlEvent) {
         if let Some(inner) = &self.inner {
             inner.borrow_mut().crawl.push(ev);
+        }
+    }
+
+    /// Records a chain reorganization event.
+    pub fn reorg(&self, ev: ReorgEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().reorg.push(ev);
         }
     }
 
@@ -667,6 +720,34 @@ mod tests {
         assert!(relay.contains("\"from\":null"));
         assert!(cats[1].1.contains("\"phantom_silent\""));
         assert!(cats[2].1.contains("\"synchronized\":true"));
+    }
+
+    #[test]
+    fn reorg_events_serialize_after_every_other_category() {
+        let t = Tracer::enabled(8);
+        t.reorg(ReorgEvent {
+            at: SimTime::from_secs(9),
+            node: 3,
+            old_tip: [0xaa; 32],
+            new_tip: [0xbb; 32],
+            old_height: 12,
+            new_height: 13,
+            depth: 2,
+        });
+        t.churn(ChurnTrace {
+            at: SimTime::from_secs(5),
+            node: 4,
+            kind: ChurnKind::Arrive,
+        });
+        let log = t.take().unwrap();
+        assert_eq!(log.total_events(), 2);
+        let cats = log.to_jsonl();
+        let names: Vec<&str> = cats.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["churn", "reorg"]);
+        let reorg = &cats[1].1;
+        assert!(reorg.contains(&"aa".repeat(32)));
+        assert!(reorg.contains("\"depth\":2"));
+        assert!(reorg.contains("\"new_height\":13"));
     }
 
     #[test]

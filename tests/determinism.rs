@@ -9,7 +9,14 @@ use bitsync_json::Value;
 use std::sync::OnceLock;
 
 /// Quick-scale experiments that finish fast enough for a test.
-const TARGETS: &[&str] = &["rounds", "fig6", "fig7", "relay", "resilience"];
+const TARGETS: &[&str] = &[
+    "rounds",
+    "fig6",
+    "fig7",
+    "relay",
+    "resilience",
+    "forkstress",
+];
 
 struct Report {
     name: String,

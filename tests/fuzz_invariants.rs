@@ -116,6 +116,71 @@ fn benign_fault_plane_variants_pass_every_harness() {
     }
 }
 
+/// A scenario shaped to make partition-heal reorgs inevitable: no churn,
+/// steady mining, and enough sim time for two partition-flap cycles plus
+/// the post-fault convergence window.
+fn stormy() -> Scenario {
+    Scenario {
+        seed: 11,
+        n_reachable: 8,
+        n_unreachable_full: 0,
+        n_phantoms: 12,
+        seed_reachable: 6,
+        seed_phantoms: 6,
+        n_malicious: 0,
+        churn_mean_secs: 0,
+        rejoin_probability: 0.0,
+        connection_mean_secs: 0,
+        block_interval_secs: 30,
+        tx_rate: 0.0,
+        compact_fraction: 0.5,
+        laggard_fraction: 0.0,
+        permanent_fraction: 1.0,
+        duration_secs: 600,
+        max_steps: 60_000,
+        fault: None,
+    }
+}
+
+#[test]
+fn ban_reorg_peers_misconfiguration_blocks_reconvergence() {
+    // The time-coin-style failure mode: nodes that discourage fork
+    // announcers ban the very peers serving the winning chain after a
+    // partition heals, so the split never closes even though the network
+    // faults are long gone.
+    let mut scenario = stormy();
+    scenario.fault = Some(Fault::BanReorgPeers);
+    let verdict = check_scenario(&scenario);
+    assert!(!verdict.passed(), "planted ban-on-reorg went undetected");
+    assert!(
+        verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("chain_converged")),
+        "expected a convergence violation, got: {:?}",
+        verdict.failures
+    );
+
+    let (shrunk, spent) = shrink(&scenario, 6);
+    assert!(spent > 0, "shrinker never ran");
+    assert!(
+        !check_scenario(&shrunk).passed(),
+        "shrinking lost the failure"
+    );
+
+    // The resilience fix: the identical storm under the sane policy
+    // (ReorgStorms arms the same fault plane without the ban bit)
+    // reconverges once the faults end.
+    let mut fixed = shrunk.clone();
+    fixed.fault = Some(Fault::ReorgStorms);
+    let verdict = check_scenario(&fixed);
+    assert!(
+        verdict.passed(),
+        "sane policy failed the same storm: {:?}",
+        verdict.failures
+    );
+}
+
 #[test]
 fn every_fault_variant_survives_the_repro_file_round_trip() {
     for fault in Fault::ALL {

@@ -80,6 +80,7 @@ golden! {
     golden_partition => "partition",
     golden_ablation => "ablation",
     golden_resilience => "resilience",
+    golden_forkstress => "forkstress",
 }
 
 /// The golden! list above must cover exactly the registry.
@@ -98,6 +99,7 @@ fn golden_test_list_covers_registry() {
         "partition",
         "ablation",
         "resilience",
+        "forkstress",
     ];
     listed.sort_unstable();
     assert_eq!(listed, expected, "golden! list out of sync with REGISTRY");

@@ -12,7 +12,15 @@ use bitsync_core::sim::trace::{RelayEvent, RelayPhase, TraceLog, Tracer};
 
 /// Experiments with traced internals (world churn/dials, relay hops,
 /// census crawls).
-const TARGETS: &[&str] = &["fig1", "fig6", "fig7", "relay", "census", "resilience"];
+const TARGETS: &[&str] = &[
+    "fig1",
+    "fig6",
+    "fig7",
+    "relay",
+    "census",
+    "resilience",
+    "forkstress",
+];
 
 fn traced_run(threads: usize) -> Vec<(String, Option<TraceLog>)> {
     let runner = ExperimentRunner::new(RunnerConfig {
@@ -69,6 +77,7 @@ fn trace_jsonl_byte_identical_across_thread_counts() {
     assert!(any(|l| l.dial.len()), "no dial events traced");
     assert!(any(|l| l.churn.len()), "no churn events traced");
     assert!(any(|l| l.crawl.len()), "no crawl events traced");
+    assert!(any(|l| l.reorg.len()), "no reorg events traced");
 }
 
 fn relay_events(seed: u64) -> (Recorder, Vec<RelayEvent>) {
